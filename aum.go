@@ -1,0 +1,168 @@
+// Package aum is a reproduction of "AUM: Unleashing the Efficiency
+// Potential of Shared Processors with Accelerator Units for LLM
+// Serving" (HPCA 2026) as a self-contained Go library.
+//
+// The library has three layers:
+//
+//   - A calibrated machine simulator standing in for the paper's
+//     AMX-enabled Xeons: roofline kernels with distinct AMX/AVX/scalar
+//     peaks, a license/TDP frequency governor, a way-partitioned LLC,
+//     max-min-arbitrated memory bandwidth, SMT contention, and top-down
+//     cycle accounting (internal/machine and friends).
+//   - The serving and co-runner workloads: an LLM engine with FCFS
+//     prefill, continuous-batching decode, and TTFT/TPOT/LAG
+//     bookkeeping, plus analytic models of the paper's best-effort
+//     applications (internal/serve, internal/workload).
+//   - AUM itself: the Background AU Profiler that condenses the
+//     three-dimensional accelerator-unit variations into a discrete
+//     AUV model, and the Runtime AU Controller implementing
+//     Algorithm 1 (internal/core), next to the Table V baselines
+//     (internal/manager).
+//
+// This package is the public facade: it re-exports the types needed to
+// assemble experiments and provides constructors for every resource
+// management scheme. The examples/ directory shows complete programs;
+// cmd/aumbench regenerates every table and figure of the paper.
+package aum
+
+import (
+	"aum/internal/colo"
+	"aum/internal/core"
+	"aum/internal/experiments"
+	"aum/internal/llm"
+	"aum/internal/manager"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// Re-exported types. The aliases make the internal packages' documented
+// types usable through the public API.
+type (
+	// Platform describes one evaluated machine (Table I).
+	Platform = platform.Platform
+	// Model is a transformer architecture from the zoo (Table II).
+	Model = llm.Model
+	// Scenario is an AU usage scenario (Table IV).
+	Scenario = trace.Scenario
+	// WorkloadProfile characterizes a best-effort co-runner.
+	WorkloadProfile = workload.Profile
+	// Manager is a resource management scheme (Table V).
+	Manager = colo.Manager
+	// RunConfig parameterizes one co-location run.
+	RunConfig = colo.Config
+	// RunResult summarizes one co-location run.
+	RunResult = colo.Result
+	// AUVModel is the profiled accelerator-unit-variation model.
+	AUVModel = core.Model
+	// ProfilerOptions tune the background profiler.
+	ProfilerOptions = core.ProfilerOptions
+	// ControllerOptions tune the runtime controller.
+	ControllerOptions = core.Options
+	// Experiment regenerates one paper table or figure.
+	Experiment = experiments.Experiment
+	// ResultTable is the rendered output of an experiment.
+	ResultTable = experiments.Table
+	// ExperimentOptions tune experiment fidelity.
+	ExperimentOptions = experiments.Options
+)
+
+// Platforms returns the three evaluated platforms (Table I).
+func Platforms() []Platform { return platform.All() }
+
+// PlatformByName returns GenA, GenB, or GenC.
+func PlatformByName(name string) (Platform, error) { return platform.ByName(name) }
+
+// GenA returns the default evaluation platform (SPR + DDR5).
+func GenA() Platform { return platform.GenA() }
+
+// Models returns the evaluated LLM architectures (Table II).
+func Models() []Model { return llm.Zoo() }
+
+// ModelByName returns a model from the zoo.
+func ModelByName(name string) (Model, error) { return llm.ByName(name) }
+
+// Llama2_7B returns the paper's primary serving model.
+func Llama2_7B() Model { return llm.Llama2_7B() }
+
+// Scenarios returns the Table IV scenarios (cb, cc, sm).
+func Scenarios() []Scenario { return trace.All() }
+
+// ScenarioByName returns a scenario by its short name.
+func ScenarioByName(name string) (Scenario, error) { return trace.ByName(name) }
+
+// CoRunners returns the Section V-A best-effort applications.
+func CoRunners() []WorkloadProfile { return workload.CoRunners() }
+
+// CoRunnerByName returns a co-runner profile by name.
+func CoRunnerByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// NewExclusive returns the AU-exclusive baseline (ALL-AU): the whole
+// processor serves the LLM and any co-runner stays unscheduled.
+func NewExclusive() Manager { return manager.AllAU{} }
+
+// NewSMTSharing returns the AUV-oblivious SMT-sharing baseline
+// (SMT-AU).
+func NewSMTSharing() Manager { return manager.SMTAU{} }
+
+// NewPartitioning returns the AUV-oblivious resource-partitioning
+// baseline (RP-AU).
+func NewPartitioning() Manager { return &manager.RPAU{} }
+
+// Profile runs the Background AU Profiler for one platform / model /
+// scenario / co-runner combination and returns the AUV model
+// (Section VI-B). With default options this is the paper's
+// 3 divisions x 5 configurations x 10 repetitions sweep.
+func Profile(p Platform, m Model, s Scenario, be WorkloadProfile, opt ProfilerOptions) (*AUVModel, error) {
+	return core.Profile(p, m, s, be, opt)
+}
+
+// LoadAUVModel reads a model written by (*AUVModel).Save.
+func LoadAUVModel(path string) (*AUVModel, error) { return core.LoadModel(path) }
+
+// NewAUM returns the full three-dimensional AU-aware manager
+// (Algorithm 1) driven by a profiled AUV model.
+func NewAUM(m *AUVModel, opt ControllerOptions) (Manager, error) { return core.NewAUM(m, opt) }
+
+// NewUsageOnly returns the AU-UP ablation (usage-pattern awareness
+// only).
+func NewUsageOnly(m *AUVModel, opt ControllerOptions) (Manager, error) { return core.NewAUUP(m, opt) }
+
+// NewFrequencyOnly returns the AU-FI ablation (frequency-interference
+// awareness only).
+func NewFrequencyOnly(m *AUVModel, opt ControllerOptions) (Manager, error) {
+	return core.NewAUFI(m, opt)
+}
+
+// NewBoundOnly returns the AU-RB ablation (resource-bound awareness
+// only).
+func NewBoundOnly(m *AUVModel, opt ControllerOptions) (Manager, error) { return core.NewAURB(m, opt) }
+
+// Run executes one co-location experiment: the LLM serving engine plus
+// an optional co-runner under the given manager on a simulated machine.
+func Run(cfg RunConfig) (RunResult, error) { return colo.Run(cfg) }
+
+// RecordTrace materializes horizon seconds of a scenario's request
+// stream so runs can replay identical inputs (set RunConfig.Trace).
+func RecordTrace(s Scenario, seed uint64, horizonS float64) *RecordedTrace {
+	return trace.Record(s, seed, horizonS)
+}
+
+// LoadTrace reads a trace written by (*RecordedTrace).Save.
+func LoadTrace(path string) (*RecordedTrace, error) { return trace.Load(path) }
+
+// RecordedTrace is a persisted, replayable request stream.
+type RecordedTrace = trace.Recorded
+
+// Experiments returns every registered paper artifact (tables and
+// figures), sorted by ID.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment regenerates one table or figure by ID (e.g. "fig14").
+func RunExperiment(id string, opt ExperimentOptions) (*ResultTable, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(experiments.NewLab(), opt)
+}

@@ -1,0 +1,72 @@
+// Command aumbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aumbench -list
+//	aumbench -run fig14
+//	aumbench -run all -quick
+//
+// Each experiment prints a paper-style text table; EXPERIMENTS.md maps
+// every ID to the corresponding table or figure and records the
+// expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aum/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		quick  = flag.Bool("quick", false, "reduced horizons (seconds instead of minutes)")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+		format = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-9s %-14s %s\n", e.ID, "("+e.Paper+")", e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	lab := experiments.NewLab()
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tbl, err := e.Run(lab, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
+			continue
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("(%s reproduces %s; %.1fs)\n\n", e.ID, e.Paper, time.Since(start).Seconds())
+	}
+}

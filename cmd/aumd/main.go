@@ -1,0 +1,106 @@
+// Command aumd runs the Runtime AU Controller as a daemon over a live
+// co-location (on the simulated machine) and streams its decisions —
+// the system-component role the paper's prototype plays in production
+// (Section VII-A1).
+//
+//	aumd -auv auv_model.json -scenario cb -corunner SPECjbb -duration 60
+//
+// Every reporting interval it prints the serving SLO status, the
+// co-runner throughput, the current processor division, and the
+// CAT/MBA grant chosen by the collision-aware tuner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aum"
+	"aum/internal/colo"
+	"aum/internal/core"
+)
+
+// reportingManager wraps the AUM controller to print per-second status
+// lines while delegating every decision.
+type reportingManager struct {
+	inner  *core.AUM
+	model  *core.Model
+	everyS float64
+	nextAt float64
+}
+
+func (r *reportingManager) Name() string      { return r.inner.Name() }
+func (r *reportingManager) Interval() float64 { return r.inner.Interval() }
+
+func (r *reportingManager) Setup(e *colo.Env) error { return r.inner.Setup(e) }
+
+func (r *reportingManager) Tick(e *colo.Env, now float64) error {
+	if err := r.inner.Tick(e, now); err != nil {
+		return err
+	}
+	if now >= r.nextAt {
+		r.nextAt = now + r.everyS
+		st := e.Engine.Stats()
+		ways, mba := r.inner.Allocation()
+		div := r.model.Divisions[r.inner.Division()].Name
+		fmt.Printf("t=%5.1fs div=%-11s beWays=%2d beMBA=%3d%% ttftG=%4.1f%% tpotG=%4.1f%% batch=%2d delta=%.2f switches=%d\n",
+			now, div, ways, mba,
+			100*st.TTFTGuarantee(), 100*st.TPOTGuarantee(),
+			e.Engine.DecodeBatch(), r.inner.LastDelta, r.inner.Switches)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		auvPath  = flag.String("auv", "auv_model.json", "AUV model from aumprof")
+		scenName = flag.String("scenario", "cb", "cb | cc | sm")
+		beName   = flag.String("corunner", "", "co-runner (default: the model's)")
+		duration = flag.Float64("duration", 60, "simulated seconds")
+		report   = flag.Float64("report", 1, "status interval in seconds")
+		seed     = flag.Uint64("seed", 42, "root random seed")
+	)
+	flag.Parse()
+
+	auv, err := aum.LoadAUVModel(*auvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := aum.PlatformByName(auv.Platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := aum.ModelByName(auv.LLMModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := aum.ScenarioByName(*scenName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *beName == "" {
+		*beName = auv.CoRunner
+	}
+	be, err := aum.CoRunnerByName(*beName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inner, err := core.NewAUM(auv, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := &reportingManager{inner: inner, model: auv, everyS: *report}
+
+	fmt.Printf("aumd: %s serving %s under %s, sharing with %s\n",
+		plat.Name, model.Name, scen.Name, be.Name)
+	res, err := aum.Run(aum.RunConfig{
+		Plat: plat, Model: model, Scen: scen, BE: &be,
+		Manager: mgr, HorizonS: *duration, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal: %.1f tok/s decode (%.1f%% in SLO), %.0f %s units/s harvested, %.0f W, efficiency %.4f\n",
+		res.RawPerfL, 100*res.TPOTGuarantee, res.PerfN, be.Name, res.Watts, res.Eff)
+}

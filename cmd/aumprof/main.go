@@ -1,0 +1,64 @@
+// Command aumprof runs the Background AU Profiler (Section VI-B) and
+// writes the resulting AUV model as JSON for aumd or the library.
+//
+//	aumprof -platform GenA -model llama2-7b -scenario cb -corunner SPECjbb -out auv_model.json
+//
+// With default fidelity this performs the paper's 3 divisions x 5
+// resource configurations x 10 repetitions sweep for the chosen
+// co-runner (~150 simulator executions; all three co-runners together
+// match the paper's ~450).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"aum"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "GenA", "GenA | GenB | GenC")
+		mdlName  = flag.String("model", "llama2-7b", "LLM to serve")
+		scenName = flag.String("scenario", "cb", "cb | cc | sm")
+		beName   = flag.String("corunner", "SPECjbb", "Compute | OLAP | SPECjbb")
+		out      = flag.String("out", "auv_model.json", "output path")
+		reps     = flag.Int("reps", 10, "repetitions per bucket")
+		horizon  = flag.Float64("horizon", 10, "seconds per profiling run")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+	)
+	flag.Parse()
+
+	plat, err := aum.PlatformByName(*platName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := aum.ModelByName(*mdlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := aum.ScenarioByName(*scenName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	be, err := aum.CoRunnerByName(*beName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	auv, err := aum.Profile(plat, model, scen, be, aum.ProfilerOptions{
+		Reps: *reps, HorizonS: *horizon, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := auv.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s/%s/%s sharing %s: %d runs in %.1fs -> %s\n",
+		plat.Name, model.Name, scen.Name, be.Name,
+		auv.ProfileRuns, time.Since(start).Seconds(), *out)
+}

@@ -1,0 +1,57 @@
+// AUV model inspection: run the Background AU Profiler, print the
+// bucket table (Table III) with the per-resource sensitivities the
+// collision-aware tuner uses, and persist the model as JSON for the
+// runtime controller (cmd/aumd consumes it).
+//
+//	go run ./examples/auv-inspect [-out auv_model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aum"
+)
+
+func main() {
+	out := flag.String("out", "auv_model.json", "where to save the AUV model")
+	flag.Parse()
+
+	plat := aum.GenA()
+	model := aum.Llama2_7B()
+	scen, _ := aum.ScenarioByName("cb")
+	jbb, _ := aum.CoRunnerByName("SPECjbb")
+
+	fmt.Println("running the background AU profiler...")
+	auv, err := aum.Profile(plat, model, scen, jbb, aum.ProfilerOptions{Reps: 4, HorizonS: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nAUV model: %s / %s / %s sharing %s (%d profiling runs)\n\n",
+		auv.Platform, auv.LLMModel, auv.Scenario, auv.CoRunner, auv.ProfileRuns)
+	fmt.Printf("%-14s %-8s %7s %7s %7s %9s %9s %9s %7s\n",
+		"division", "config", "freqH", "freqL", "freqN", "TTFT-avg", "TPOT-p90", "jbb-ktx/s", "watts")
+	for d := range auv.Divisions {
+		for c := range auv.Configs {
+			b := auv.Bucket(d, c)
+			fmt.Printf("%-14s %-8s %7.2f %7.2f %7.2f %8.0fms %8.0fms %9.0f %7.0f\n",
+				auv.Divisions[d].Name, auv.Configs[c].Name,
+				b.FreqH, b.FreqL, b.FreqN,
+				1e3*b.TTFTAvg, 1e3*b.TPOTTail, b.ThrN/1e3, b.Watts)
+		}
+	}
+
+	for d := range auv.Divisions {
+		s := auv.Sensitivities(d)
+		fmt.Printf("\n%s sensitivities: +1 way -> jbb %+.0f tx/s, TPOT %+.2f ms; +10%% MBA -> jbb %+.0f tx/s, TPOT %+.2f ms",
+			auv.Divisions[d].Name, s.WaysThrN, 1e3*s.WaysTPOT, s.MBAThrN, 1e3*s.MBATPOT)
+	}
+	fmt.Println()
+
+	if err := auv.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel saved to %s\n", *out)
+}

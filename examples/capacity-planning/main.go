@@ -1,0 +1,47 @@
+// Capacity planning: sweep the offered chatbot load on each platform
+// and find the highest arrival rate that still meets the decode SLO —
+// the sizing question an operator asks before dedicating AU-enabled
+// machines to LLM serving (Section III-B).
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aum"
+)
+
+func main() {
+	model := aum.Llama2_7B()
+	scen, _ := aum.ScenarioByName("cb")
+
+	rates := []float64{0.3, 0.5, 0.7, 0.9, 1.1, 1.3}
+	const tpotTarget = 0.9 // accept <=10% token-deadline violations
+
+	for _, plat := range aum.Platforms() {
+		fmt.Printf("%s (%s, %d cores, %.0f GB/s):\n",
+			plat.Name, plat.CPUModel, plat.Cores, plat.MemBWGBs)
+		best := 0.0
+		for _, rate := range rates {
+			res, err := aum.Run(aum.RunConfig{
+				Plat: plat, Model: model, Scen: scen,
+				Manager:  aum.NewExclusive(),
+				HorizonS: 25, RatePerS: rate,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok := res.TPOTGuarantee >= tpotTarget
+			mark := " "
+			if ok {
+				best = rate
+				mark = "*"
+			}
+			fmt.Printf("  %s %.1f req/s: %6.1f tok/s, TPOT p-meet %5.1f%%, TTFT mean %4.0f ms, %4.0f W\n",
+				mark, rate, res.RawPerfL, 100*res.TPOTGuarantee, 1e3*res.MeanTTFT, res.Watts)
+		}
+		fmt.Printf("  -> max sustainable chatbot load: %.1f req/s\n\n", best)
+	}
+}

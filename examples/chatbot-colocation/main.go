@@ -1,0 +1,73 @@
+// Chatbot co-location: the paper's motivating deployment — a
+// production chatbot (ShareGPT traffic, Table IV) sharing an
+// AMX-enabled machine with a Java transaction server — evaluated under
+// every Table V resource manager.
+//
+//	go run ./examples/chatbot-colocation [-horizon 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aum"
+)
+
+func main() {
+	horizon := flag.Float64("horizon", 30, "simulated seconds per scheme")
+	flag.Parse()
+
+	plat := aum.GenA()
+	model := aum.Llama2_7B()
+	scen, _ := aum.ScenarioByName("cb")
+	jbb, _ := aum.CoRunnerByName("SPECjbb")
+
+	// The AU-aware managers share one profiled AUV model.
+	fmt.Println("profiling the AUV model...")
+	auv, err := aum.Profile(plat, model, scen, jbb, aum.ProfilerOptions{Reps: 3, HorizonS: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type scheme struct {
+		name  string
+		build func() (aum.Manager, error)
+		noBE  bool
+	}
+	schemes := []scheme{
+		{"ALL-AU", func() (aum.Manager, error) { return aum.NewExclusive(), nil }, true},
+		{"SMT-AU", func() (aum.Manager, error) { return aum.NewSMTSharing(), nil }, false},
+		{"RP-AU", func() (aum.Manager, error) { return aum.NewPartitioning(), nil }, false},
+		{"AU-UP", func() (aum.Manager, error) { return aum.NewUsageOnly(auv, aum.ControllerOptions{}) }, false},
+		{"AU-FI", func() (aum.Manager, error) { return aum.NewFrequencyOnly(auv, aum.ControllerOptions{}) }, false},
+		{"AU-RB", func() (aum.Manager, error) { return aum.NewBoundOnly(auv, aum.ControllerOptions{}) }, false},
+		{"AUM", func() (aum.Manager, error) { return aum.NewAUM(auv, aum.ControllerOptions{}) }, false},
+	}
+
+	fmt.Printf("\n%-8s %10s %10s %10s %10s %8s %10s\n",
+		"scheme", "tok/s", "ttftG%", "tpotG%", "jbb-ktx/s", "watts", "eff")
+	var exclEff float64
+	for _, s := range schemes {
+		mgr, err := s.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := aum.RunConfig{Plat: plat, Model: model, Scen: scen, Manager: mgr, HorizonS: *horizon}
+		if !s.noBE {
+			cfg.BE = &jbb
+		}
+		res, err := aum.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.name == "ALL-AU" {
+			exclEff = res.Eff
+		}
+		fmt.Printf("%-8s %10.1f %10.1f %10.1f %10.0f %8.0f %9.2f%%\n",
+			s.name, res.RawPerfL,
+			100*res.TTFTGuarantee, 100*res.TPOTGuarantee,
+			res.PerfN/1e3, res.Watts, 100*(res.Eff/exclEff-1))
+	}
+	fmt.Println("\neff column: weighted perf-per-watt relative to the exclusive baseline")
+}

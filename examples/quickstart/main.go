@@ -1,0 +1,69 @@
+// Quickstart: profile a machine, build the AUM controller, and compare
+// shared serving against the exclusive baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aum"
+)
+
+func main() {
+	plat := aum.GenA()
+	model := aum.Llama2_7B()
+	scen, err := aum.ScenarioByName("cb") // ShareGPT chatbot, Table IV
+	if err != nil {
+		log.Fatal(err)
+	}
+	jbb, err := aum.CoRunnerByName("SPECjbb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Background AU Profiler: sweep divisions x resource configs
+	// offline into the AUV model (reduced repetitions for a quick demo;
+	// the paper uses 10).
+	fmt.Println("profiling AU variations (3 divisions x 5 configs)...")
+	auv, err := aum.Profile(plat, model, scen, jbb, aum.ProfilerOptions{Reps: 3, HorizonS: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Runtime AU Controller from the model.
+	mgr, err := aum.NewAUM(auv, aum.ControllerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run AUM-managed sharing vs the exclusive baseline.
+	shared, err := aum.Run(aum.RunConfig{
+		Plat: plat, Model: model, Scen: scen, BE: &jbb,
+		Manager: mgr, HorizonS: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	excl, err := aum.Run(aum.RunConfig{
+		Plat: plat, Model: model, Scen: scen,
+		Manager: aum.NewExclusive(), HorizonS: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "ALL-AU", "AUM")
+	row := func(name string, a, b float64, unit string) {
+		fmt.Printf("%-22s %12.1f %12.1f  %s\n", name, a, b, unit)
+	}
+	row("decode throughput", excl.RawPerfL, shared.RawPerfL, "tokens/s")
+	row("TPOT guarantee", 100*excl.TPOTGuarantee, 100*shared.TPOTGuarantee, "%")
+	row("TTFT guarantee", 100*excl.TTFTGuarantee, 100*shared.TTFTGuarantee, "%")
+	row("SPECjbb harvested", excl.PerfN/1e3, shared.PerfN/1e3, "k-tx/s")
+	row("package power", excl.Watts, shared.Watts, "W")
+	row("weighted efficiency", 1000*excl.Eff, 1000*shared.Eff, "m-units/J")
+	fmt.Printf("\nAUM efficiency gain over exclusive: %+.1f%%\n",
+		100*(shared.Eff/excl.Eff-1))
+}

@@ -1,0 +1,3 @@
+module aum
+
+go 1.22

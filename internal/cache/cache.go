@@ -1,0 +1,125 @@
+// Package cache models the shared last-level cache and its
+// partitioning via way masks, the knob Intel CAT exposes and AUM's
+// bound-aware resource profiling sweeps (Figure 13).
+//
+// The model is capacity-based: a workload with working set W touching
+// an allocation of size S sees a miss ratio that falls off as a
+// rational function of S/W. This captures the two behaviours the paper
+// relies on: LLC ways can be harvested from low-reuse AU phases with
+// little slowdown, and cache-sensitive co-runners (SPECjbb, OLAP)
+// degrade smoothly as ways are taken away.
+package cache
+
+import "math"
+
+// MissCurve describes how a workload's reuse traffic responds to cache
+// capacity.
+type MissCurve struct {
+	// WorkingSetMB is the capacity at which half the reuse traffic
+	// hits (the knee of the curve).
+	WorkingSetMB float64
+	// Gamma is the sharpness of the knee; 2 matches typical
+	// set-associative behaviour, larger values model streaming-with-
+	// hot-set workloads.
+	Gamma float64
+	// FloorMiss is the compulsory miss ratio that no amount of cache
+	// removes (cold and streaming accesses within the reuse stream).
+	FloorMiss float64
+}
+
+// MissRatio returns the fraction of reuse traffic missing an allocation
+// of allocMB. It is 1 at zero allocation and decays monotonically
+// toward FloorMiss.
+func (c MissCurve) MissRatio(allocMB float64) float64 {
+	if c.WorkingSetMB <= 0 {
+		return c.FloorMiss
+	}
+	if allocMB <= 0 {
+		return 1
+	}
+	gamma := c.Gamma
+	if gamma <= 0 {
+		gamma = 2
+	}
+	r := allocMB / c.WorkingSetMB
+	m := 1 / (1 + math.Pow(r, gamma))
+	if m < c.FloorMiss {
+		return c.FloorMiss
+	}
+	return m
+}
+
+// Partition maps way counts to capacity for a cache with the given
+// total size and associativity.
+type Partition struct {
+	TotalMB float64
+	Ways    int
+}
+
+// WaysMB returns the capacity of a ways-way allocation, clamped to the
+// partition bounds.
+func (p Partition) WaysMB(ways int) float64 {
+	if p.Ways <= 0 {
+		return 0
+	}
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > p.Ways {
+		ways = p.Ways
+	}
+	return p.TotalMB * float64(ways) / float64(p.Ways)
+}
+
+// Mask is a contiguous CAT way mask [Lo, Hi] (inclusive), matching the
+// contiguous-bitmask requirement of real CAT hardware and the "0-2",
+// "3-6", "7-15" notation of Table III.
+type Mask struct {
+	Lo, Hi int
+}
+
+// Count returns the number of ways in the mask.
+func (m Mask) Count() int {
+	if m.Hi < m.Lo {
+		return 0
+	}
+	return m.Hi - m.Lo + 1
+}
+
+// Overlaps reports whether two masks share any way.
+func (m Mask) Overlaps(o Mask) bool {
+	return m.Count() > 0 && o.Count() > 0 && m.Lo <= o.Hi && o.Lo <= m.Hi
+}
+
+// String renders the mask in Table III notation, e.g. "3-6".
+func (m Mask) String() string {
+	if m.Count() == 0 {
+		return "none"
+	}
+	if m.Lo == m.Hi {
+		return itoa(m.Lo)
+	}
+	return itoa(m.Lo) + "-" + itoa(m.Hi)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissRatioBounds(t *testing.T) {
+	c := MissCurve{WorkingSetMB: 100, Gamma: 2, FloorMiss: 0.1}
+	if got := c.MissRatio(0); got != 1 {
+		t.Fatalf("miss at zero allocation = %v, want 1", got)
+	}
+	if got := c.MissRatio(1e6); got != c.FloorMiss {
+		t.Fatalf("miss at huge allocation = %v, want floor %v", got, c.FloorMiss)
+	}
+	if got := c.MissRatio(100); got < 0.45 || got > 0.55 {
+		t.Fatalf("miss at the knee = %v, want ~0.5", got)
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	f := func(ws, g, floor float64) bool {
+		norm := func(v, lo, hi float64) float64 {
+			if v < 0 {
+				v = -v
+			}
+			for v > hi {
+				v /= 10
+			}
+			if v < lo {
+				v = lo
+			}
+			return v
+		}
+		c := MissCurve{
+			WorkingSetMB: norm(ws, 1, 1000),
+			Gamma:        norm(g, 0.5, 4),
+			FloorMiss:    norm(floor, 0, 0.5),
+		}
+		prev := 2.0
+		for alloc := 0.0; alloc <= 4*c.WorkingSetMB; alloc += c.WorkingSetMB / 8 {
+			m := c.MissRatio(alloc)
+			if m < 0 || m > 1 || m > prev+1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionWaysMB(t *testing.T) {
+	p := Partition{TotalMB: 150, Ways: 15}
+	if got := p.WaysMB(3); got != 30 {
+		t.Fatalf("3 ways = %v MB, want 30", got)
+	}
+	if got := p.WaysMB(20); got != 150 {
+		t.Fatalf("overshoot should clamp to total, got %v", got)
+	}
+	if got := p.WaysMB(-1); got != 0 {
+		t.Fatalf("negative ways = %v, want 0", got)
+	}
+}
+
+func TestMask(t *testing.T) {
+	m := Mask{Lo: 3, Hi: 6}
+	if m.Count() != 4 {
+		t.Fatalf("count = %d, want 4", m.Count())
+	}
+	if m.String() != "3-6" {
+		t.Fatalf("string = %q, want 3-6", m.String())
+	}
+	if (Mask{Lo: 5, Hi: 5}).String() != "5" {
+		t.Fatal("single-way mask format")
+	}
+	if (Mask{Lo: 4, Hi: 2}).Count() != 0 {
+		t.Fatal("inverted mask should be empty")
+	}
+	if (Mask{Lo: 4, Hi: 2}).String() != "none" {
+		t.Fatal("empty mask string")
+	}
+}
+
+func TestMaskOverlap(t *testing.T) {
+	tests := []struct {
+		a, b Mask
+		want bool
+	}{
+		{Mask{0, 4}, Mask{5, 9}, false},
+		{Mask{0, 5}, Mask{5, 9}, true},
+		{Mask{3, 7}, Mask{0, 15}, true},
+		{Mask{3, 2}, Mask{0, 15}, false}, // empty never overlaps
+	}
+	for _, tt := range tests {
+		if got := tt.a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("%v overlaps %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(tt.a); got != tt.want {
+			t.Errorf("overlap not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}

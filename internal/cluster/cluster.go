@@ -1,0 +1,363 @@
+// Package cluster scales AUM from one machine to a fleet, the
+// extension Section VIII sketches: "for sharding workloads across
+// multiple servers, we can analyze the AUV of every processor and adopt
+// load balancing to maximize their efficiency separately."
+//
+// A Cluster owns several simulated machines, each running its own
+// serving engine, co-runner, and per-machine resource manager. The
+// Balancer routes arriving requests across machines; the AUV-aware
+// policy uses each machine's profiled capacity and live queue state,
+// while the oblivious policies (round-robin, least-loaded-by-count)
+// provide the comparison baselines.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"aum/internal/colo"
+	"aum/internal/llm"
+	"aum/internal/machine"
+	"aum/internal/metrics"
+	"aum/internal/perfmon"
+	"aum/internal/rdt"
+	"aum/internal/serve"
+	"aum/internal/trace"
+	"aum/internal/workload"
+
+	"aum/internal/platform"
+)
+
+// Policy selects the machine for each arriving request.
+type Policy int
+
+const (
+	// RoundRobin cycles through machines regardless of state.
+	RoundRobin Policy = iota
+	// LeastQueued picks the machine with the shortest prefill queue —
+	// load-aware but AUV-oblivious (it cannot see that machines differ
+	// in AU capacity or frequency headroom).
+	LeastQueued
+	// AUVAware weighs each machine's profiled serving capacity and
+	// its live backlog: requests go where the *AU-adjusted* slack is
+	// largest (the Section VIII proposal).
+	AUVAware
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastQueued:
+		return "least-queued"
+	case AUVAware:
+		return "auv-aware"
+	}
+	return "unknown"
+}
+
+// Node is one machine in the fleet.
+type Node struct {
+	Name   string
+	Env    *colo.Env
+	Mgr    colo.Manager
+	gen    trace.Scenario
+	nextTk float64
+
+	// CapacityTokPS is the node's profiled *request* capacity under
+	// the scenario (requests/s), the AUV statistic the aware balancer
+	// consumes: the minimum of its prefill-compute and decode-bandwidth
+	// service rates.
+	CapacityTokPS float64
+}
+
+// Config assembles a cluster experiment.
+type Config struct {
+	Plats    []platform.Platform // one machine per entry
+	Model    llm.Model
+	Scen     trace.Scenario
+	BE       *workload.Profile // optional co-runner on every node
+	Policy   Policy
+	Managers []colo.Manager // per node; must match len(Plats)
+
+	HorizonS float64
+	WarmupS  float64
+	DT       float64
+	Seed     uint64
+	RatePerS float64 // aggregate arrival rate (0 = scenario default x nodes)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Plats) == 0 {
+		return c, fmt.Errorf("cluster: no machines configured")
+	}
+	if len(c.Managers) != len(c.Plats) {
+		return c, fmt.Errorf("cluster: %d managers for %d machines", len(c.Managers), len(c.Plats))
+	}
+	if c.HorizonS <= 0 {
+		c.HorizonS = 40
+	}
+	if c.WarmupS <= 0 {
+		c.WarmupS = c.HorizonS / 6
+	}
+	if c.DT <= 0 {
+		c.DT = 1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.RatePerS <= 0 {
+		c.RatePerS = c.Scen.RatePerS * float64(len(c.Plats))
+	}
+	return c, nil
+}
+
+// Result aggregates fleet-level outcomes.
+type Result struct {
+	Policy   string
+	Nodes    int
+	PerfH    float64 // guaranteed prefill tokens/s, fleet-wide
+	PerfL    float64 // guaranteed decode tokens/s
+	PerfN    float64 // harvested work units/s
+	Watts    float64
+	Eff      float64
+	TTFTGuar float64
+	TPOTGuar float64
+	// Imbalance is the coefficient of variation of per-node request
+	// counts — the dispersion metric the balancer is judged on.
+	Imbalance float64
+	PerNode   []NodeResult
+}
+
+// NodeResult is one machine's share of the fleet outcome.
+type NodeResult struct {
+	Name     string
+	Requests int
+	PerfL    float64
+	Watts    float64
+}
+
+// Run executes a fleet experiment.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	nodes := make([]*Node, len(cfg.Plats))
+	gamma := 0.0
+	if cfg.BE != nil {
+		gamma = cfg.BE.RevenuePrice
+	}
+	for i, plat := range cfg.Plats {
+		m := machine.New(plat)
+		mon := perfmon.NewMonitor(256)
+		mon.Attach(m)
+		eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO})
+		env := &colo.Env{
+			Plat: plat, M: m, RDT: rdt.New(m), Engine: eng, Scen: cfg.Scen, Mon: mon,
+		}
+		if cfg.BE != nil {
+			env.BEApp = workload.New(*cfg.BE, cfg.Seed+uint64(i)*13+7)
+		}
+		if err := cfg.Managers[i].Setup(env); err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d setup: %w", i, err)
+		}
+		if env.PrefillID == 0 || env.DecodeID == 0 {
+			return Result{}, fmt.Errorf("cluster: node %d manager placed no LLM", i)
+		}
+		nodes[i] = &Node{
+			Name:          fmt.Sprintf("%s-%d", plat.Name, i),
+			Env:           env,
+			Mgr:           cfg.Managers[i],
+			CapacityTokPS: requestCapacity(plat, cfg.Model, cfg.Scen),
+		}
+	}
+
+	gen := trace.NewGenerator(cfg.Scen, cfg.Seed)
+	gen.SetRate(cfg.RatePerS)
+	bal := balancer{policy: cfg.Policy, nodes: nodes}
+
+	requests := make([]int, len(nodes))
+	var baseStats []serve.Stats
+	baseEnergy := make([]float64, len(nodes))
+	baseBE := make([]machine.TaskStats, len(nodes))
+	baseTime := 0.0
+	measured := false
+
+	now := 0.0
+	for now < cfg.HorizonS {
+		for _, r := range gen.Emit(now, cfg.DT) {
+			i := bal.pick(r)
+			requests[i]++
+			if err := nodes[i].Env.Engine.Submit(r); err != nil {
+				return Result{}, err
+			}
+		}
+		for _, n := range nodes {
+			if iv := n.Mgr.Interval(); iv > 0 && now >= n.nextTk {
+				if err := n.Mgr.Tick(n.Env, now); err != nil {
+					return Result{}, fmt.Errorf("cluster: %s tick: %w", n.Name, err)
+				}
+				n.nextTk = now + iv
+			}
+		}
+		if !measured && now >= cfg.WarmupS {
+			measured = true
+			baseTime = now
+			baseStats = make([]serve.Stats, len(nodes))
+			for i, n := range nodes {
+				baseStats[i] = n.Env.Engine.Stats().Clone()
+				baseEnergy[i] = n.Env.M.EnergyJ()
+				if n.Env.BEID != 0 {
+					baseBE[i], _ = n.Env.M.Stats(n.Env.BEID)
+				}
+			}
+		}
+		for _, n := range nodes {
+			n.Env.M.Step(cfg.DT)
+		}
+		now += cfg.DT
+	}
+	if !measured {
+		return Result{}, fmt.Errorf("cluster: horizon shorter than warmup")
+	}
+
+	elapsed := now - baseTime
+	res := Result{Policy: cfg.Policy.String(), Nodes: len(nodes)}
+	var prefills, met float64
+	var tokMet, tokAll float64
+	for i, n := range nodes {
+		st := n.Env.Engine.Stats()
+		d := func(a, b float64) float64 { return (a - b) / elapsed }
+		perfH := d(st.GuaranteedPrefillTokens, baseStats[i].GuaranteedPrefillTokens)
+		perfL := d(st.TPOTMet, baseStats[i].TPOTMet)
+		res.PerfH += perfH
+		res.PerfL += perfL
+		watts := (n.Env.M.EnergyJ() - baseEnergy[i]) / elapsed
+		res.Watts += watts
+		if n.Env.BEID != 0 {
+			cur, _ := n.Env.M.Stats(n.Env.BEID)
+			res.PerfN += cur.Sub(baseBE[i]).Work / elapsed
+		}
+		prefills += float64(st.PrefillRequests - baseStats[i].PrefillRequests)
+		met += float64(st.TTFTMetScaled - baseStats[i].TTFTMetScaled)
+		tokAll += st.DecodeTokens - baseStats[i].DecodeTokens
+		tokMet += st.TPOTMet - baseStats[i].TPOTMet
+		res.PerNode = append(res.PerNode, NodeResult{
+			Name: n.Name, Requests: requests[i], PerfL: perfL, Watts: watts,
+		})
+	}
+	if prefills > 0 {
+		res.TTFTGuar = met / prefills
+	}
+	if tokAll > 0 {
+		res.TPOTGuar = tokMet / tokAll
+	}
+	res.Eff = metrics.Efficiency(metrics.DefaultPrices(gamma), res.PerfH, res.PerfL, res.PerfN, res.Watts)
+	res.Imbalance = coefficientOfVariation(requests)
+	return res, nil
+}
+
+// balancer implements the three routing policies.
+type balancer struct {
+	policy  Policy
+	nodes   []*Node
+	rr      int
+	credits []float64 // weighted-deficit state for AUVAware
+}
+
+func (b *balancer) pick(r *serve.Request) int {
+	switch b.policy {
+	case LeastQueued:
+		best, bestQ := 0, math.MaxInt
+		for i, n := range b.nodes {
+			if q := n.Env.Engine.QueueLen(); q < bestQ {
+				best, bestQ = i, q
+			}
+		}
+		return best
+	case AUVAware:
+		// Weighted-deficit routing: every node accrues credit
+		// proportional to its profiled AU capacity, discounted by its
+		// live prompt backlog and decode pressure; the winner pays the
+		// fleet total. Long-run shares track capacity; transient
+		// congestion steers work away immediately.
+		if b.credits == nil {
+			b.credits = make([]float64, len(b.nodes))
+		}
+		var fleet float64
+		for _, n := range b.nodes {
+			fleet += n.CapacityTokPS
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for i, n := range b.nodes {
+			b.credits[i] += n.CapacityTokPS
+			eng := n.Env.Engine
+			// Backlog in request-equivalents: queued prompts plus the
+			// decode slots already committed.
+			backlog := float64(eng.QueueLen()) + 0.25*float64(eng.DecodeBatch())
+			if score := b.credits[i] - backlog*n.CapacityTokPS; score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		b.credits[best] -= fleet
+		return best
+	default:
+		i := b.rr % len(b.nodes)
+		b.rr++
+		return i
+	}
+}
+
+// prefillCapacity estimates a platform's sustainable prefill rate in
+// input tokens/s.
+func prefillCapacity(p platform.Platform, m llm.Model) float64 {
+	// Achievable AMX throughput at the license frequency over ~55% of
+	// the cores (the high-AU region), at the calibrated ~24% software
+	// efficiency, for 2 flops per parameter-token.
+	cores := 0.55 * float64(p.Cores)
+	gflops := p.AMXPeakGFLOPSPerCore(p.License.AMXHeavy) * cores * 0.24
+	return gflops * 1e9 / (2 * m.LinearParams())
+}
+
+// requestCapacity summarizes a node's AUV into one number: how many of
+// the scenario's requests it can serve per second, limited by either
+// prefill compute or the decode iteration rate — the statistic the
+// Section VIII balancer needs ("analyze the AUV of every processor").
+// Decode capacity is evaluated with the same iteration cost model the
+// machines run, on a typical managed decode region (~26% of the cores
+// with most of the bandwidth).
+func requestCapacity(p platform.Platform, m llm.Model, scen trace.Scenario) float64 {
+	prefillReqPS := prefillCapacity(p, m) / float64(scen.MeanInput)
+	plan := m.PlanDecode(16, scen.MeanInput+scen.MeanOutput/2)
+	env := machine.Env{
+		Plat: p, Cores: int(0.26 * float64(p.Cores)), GHz: p.License.AVXHeavy,
+		ComputeShare: 1, LLCMB: p.TotalLLCMB() * 0.5, L2MB: 48,
+		BWGBs: p.MemBWGBs * 0.85,
+	}
+	decodeTokPS := 16 / llm.CostIteration(plan, env).TotalS
+	decodeReqPS := decodeTokPS / float64(scen.MeanOutput)
+	return math.Min(prefillReqPS, decodeReqPS)
+}
+
+func coefficientOfVariation(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	if mean == 0 {
+		return 0
+	}
+	varSum := 0.0
+	for _, c := range counts {
+		d := float64(c) - mean
+		varSum += d * d
+	}
+	return math.Sqrt(varSum/float64(len(counts))) / mean
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+
+	"aum/internal/colo"
+	"aum/internal/llm"
+	"aum/internal/manager"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func twoNodeConfig(policy Policy) Config {
+	return Config{
+		Plats:    []platform.Platform{platform.GenA(), platform.GenC()},
+		Model:    llm.Llama2_7B(),
+		Scen:     trace.Chatbot(),
+		Policy:   policy,
+		Managers: []colo.Manager{manager.AllAU{}, manager.AllAU{}},
+		HorizonS: 12,
+		Seed:     9,
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastQueued.String() != "least-queued" || AUVAware.String() != "auv-aware" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	bad := twoNodeConfig(RoundRobin)
+	bad.Managers = bad.Managers[:1]
+	if _, err := Run(bad); err == nil {
+		t.Fatal("manager/machine mismatch accepted")
+	}
+}
+
+func TestRoundRobinBalances(t *testing.T) {
+	res, err := Run(twoNodeConfig(RoundRobin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 2 || len(res.PerNode) != 2 {
+		t.Fatal("node accounting")
+	}
+	// Round-robin over two nodes is nearly perfectly balanced in
+	// request count.
+	if res.Imbalance > 0.05 {
+		t.Fatalf("round-robin imbalance = %.3f", res.Imbalance)
+	}
+	if res.PerfL <= 0 || res.Watts <= 0 {
+		t.Fatal("fleet produced nothing")
+	}
+}
+
+func TestEveryPolicyRuns(t *testing.T) {
+	for _, p := range []Policy{RoundRobin, LeastQueued, AUVAware} {
+		res, err := Run(twoNodeConfig(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		total := 0
+		for _, n := range res.PerNode {
+			total += n.Requests
+		}
+		if total == 0 {
+			t.Fatalf("%v routed no requests", p)
+		}
+		if res.TPOTGuar < 0 || res.TPOTGuar > 1 {
+			t.Fatalf("%v guarantee out of range", p)
+		}
+	}
+}
+
+func TestAUVAwarePrefersFasterMachine(t *testing.T) {
+	// GenC's bandwidth headroom gives it more request capacity under
+	// the decode-bound chatbot mix; the aware balancer should skew
+	// work toward it instead of splitting evenly.
+	res, err := Run(twoNodeConfig(AUVAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genA, genC int
+	for _, n := range res.PerNode {
+		switch n.Name {
+		case "GenA-0":
+			genA = n.Requests
+		case "GenC-1":
+			genC = n.Requests
+		}
+	}
+	if genC < genA {
+		t.Fatalf("AUV-aware routed %d to GenC vs %d to GenA", genC, genA)
+	}
+}
+
+func TestSharedFleet(t *testing.T) {
+	jbb := workload.SPECjbb()
+	cfg := twoNodeConfig(AUVAware)
+	cfg.BE = &jbb
+	cfg.Managers = []colo.Manager{&manager.RPAU{}, &manager.RPAU{}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfN <= 0 {
+		t.Fatal("fleet harvested nothing")
+	}
+	if res.Eff <= 0 {
+		t.Fatal("fleet efficiency missing")
+	}
+}
+
+func TestRequestCapacityOrdering(t *testing.T) {
+	m := llm.Llama2_7B()
+	scen := trace.Chatbot()
+	a := requestCapacity(platform.GenA(), m, scen)
+	c := requestCapacity(platform.GenC(), m, scen)
+	if a <= 0 || c <= 0 {
+		t.Fatal("capacities must be positive")
+	}
+	// The chatbot mix is decode-bandwidth-bound: GenC's 600 GB/s give
+	// it more request capacity than GenA despite less prefill compute.
+	if c <= a {
+		t.Fatalf("GenC request capacity (%v) should exceed GenA's (%v)", c, a)
+	}
+}

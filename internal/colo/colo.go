@@ -1,0 +1,342 @@
+// Package colo runs co-location experiments: an LLM serving engine
+// (prefill + decode workers) and an optional best-effort co-runner on
+// one simulated machine, under the control of a resource manager. It is
+// the shared harness behind every evaluation scheme in Table V — the
+// exclusive baseline, the AUV-oblivious sharing baselines, AUM, and
+// AUM's single-dimension ablations.
+package colo
+
+import (
+	"fmt"
+
+	"aum/internal/llm"
+	"aum/internal/machine"
+	"aum/internal/metrics"
+	"aum/internal/perfmon"
+	"aum/internal/platform"
+	"aum/internal/rdt"
+	"aum/internal/serve"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// Env is the live experiment environment a Manager controls.
+type Env struct {
+	Plat   platform.Platform
+	M      *machine.Machine
+	RDT    *rdt.Controller
+	Engine *serve.Engine
+	Scen   trace.Scenario
+	Mon    *perfmon.Monitor
+
+	PrefillID machine.TaskID
+	DecodeID  machine.TaskID
+	BEID      machine.TaskID // zero when running exclusively
+	BEApp     *workload.App  // nil when running exclusively
+}
+
+// HasBE reports whether a co-runner is present.
+func (e *Env) HasBE() bool { return e.BEApp != nil }
+
+// AddLLM places the two serving workers on the machine. Managers call
+// this exactly once from Setup.
+func (e *Env) AddLLM(prefill, decode machine.Placement) error {
+	id, err := e.M.AddTask(e.Engine.PrefillWorker(), prefill)
+	if err != nil {
+		return fmt.Errorf("colo: placing prefill: %w", err)
+	}
+	e.PrefillID = id
+	id, err = e.M.AddTask(e.Engine.DecodeWorker(), decode)
+	if err != nil {
+		return fmt.Errorf("colo: placing decode: %w", err)
+	}
+	e.DecodeID = id
+	return nil
+}
+
+// AddBE places the co-runner, if one is configured. Managers call this
+// from Setup after AddLLM; it is a no-op in exclusive runs.
+func (e *Env) AddBE(p machine.Placement) error {
+	if e.BEApp == nil {
+		return nil
+	}
+	id, err := e.M.AddTask(e.BEApp, p)
+	if err != nil {
+		return fmt.Errorf("colo: placing co-runner: %w", err)
+	}
+	e.BEID = id
+	return nil
+}
+
+// Manager is a resource management scheme (Table V).
+type Manager interface {
+	// Name is the scheme name used in reports (e.g. "AUM", "SMT-AU").
+	Name() string
+	// Setup places the tasks and configures initial resources.
+	Setup(e *Env) error
+	// Interval is the control period in seconds; 0 disables ticks.
+	Interval() float64
+	// Tick runs one control decision at simulation time now.
+	Tick(e *Env, now float64) error
+}
+
+// Config parameterizes one co-location run.
+type Config struct {
+	Plat    platform.Platform
+	Model   llm.Model
+	Scen    trace.Scenario
+	BE      *workload.Profile // nil = exclusive AU usage
+	Manager Manager
+
+	HorizonS float64 // simulated duration (default 60)
+	WarmupS  float64 // excluded from measurements (default HorizonS/6)
+	DT       float64 // time step (default 1 ms)
+	Seed     uint64
+	RatePerS float64 // arrival-rate override (0 = scenario default)
+
+	// Trace, when set, replays a recorded request stream instead of
+	// generating arrivals, pinning identical inputs across managers.
+	Trace *trace.Recorded
+
+	// TrackAlloc records the co-runner's way/MBA allocation at every
+	// control tick (Figure 18).
+	TrackAlloc bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.HorizonS <= 0 {
+		c.HorizonS = 60
+	}
+	if c.WarmupS <= 0 {
+		c.WarmupS = c.HorizonS / 6
+	}
+	if c.DT <= 0 {
+		c.DT = 1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// AllocSample is one Figure 18 observation of the shared application's
+// allocation.
+type AllocSample struct {
+	Now     float64
+	BEWays  int
+	BEMBA   int // percent
+	BECores int
+}
+
+// Result summarizes one run. Performance figures are post-warmup rates.
+type Result struct {
+	Scheme   string
+	Scenario string
+	CoRunner string
+	Platform string
+
+	// PerfH and PerfL are the paper's throughput metric: tokens per
+	// second *with performance guarantees* — P_H counts the prompt
+	// tokens of requests whose first token met the TTFT SLO, P_L the
+	// decode tokens meeting TPOT. RawPerfH/RawPerfL are the
+	// unconditional processing rates.
+	PerfH    float64
+	PerfL    float64
+	RawPerfH float64
+	RawPerfL float64
+	// RequestsPS is the prefill completion rate in requests/s.
+	RequestsPS float64
+	PerfN      float64 // co-runner work units/s
+	Watts      float64
+	Eff        float64 // weighted perf-per-watt under Prices
+
+	TTFTGuarantee       float64 // vs the absolute d_TTFT (the paper's strict reading)
+	TTFTGuaranteeScaled float64 // vs the size-scaled deadline (drives PerfH)
+	TPOTGuarantee       float64
+	MeanTTFT            float64
+	MeanTPOT            float64
+	TailTPOT            float64 // p90
+	TailTTFT            float64 // p90
+	GoodTokensPS        float64 // tokens within SLO per second
+
+	MeanGHzPrefill float64
+	MeanGHzDecode  float64
+	MeanGHzBE      float64
+
+	PrefillStats machine.TaskStats
+	DecodeStats  machine.TaskStats
+	BEStats      machine.TaskStats
+
+	Alloc []AllocSample
+
+	Prices metrics.Prices
+}
+
+// Run executes one co-location experiment.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	m := machine.New(cfg.Plat)
+	mon := perfmon.NewMonitor(0)
+	mon.Attach(m)
+
+	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO})
+	var emit func(now, dt float64) []*serve.Request
+	if cfg.Trace != nil {
+		emit = trace.NewReplayer(cfg.Trace).Emit
+	} else {
+		gen := trace.NewGenerator(cfg.Scen, cfg.Seed)
+		if cfg.RatePerS > 0 {
+			gen.SetRate(cfg.RatePerS)
+		}
+		emit = gen.Emit
+	}
+
+	env := &Env{
+		Plat:   cfg.Plat,
+		M:      m,
+		RDT:    rdt.New(m),
+		Engine: eng,
+		Scen:   cfg.Scen,
+		Mon:    mon,
+	}
+	gamma := 0.0
+	if cfg.BE != nil {
+		env.BEApp = workload.New(*cfg.BE, cfg.Seed+7)
+		gamma = cfg.BE.RevenuePrice
+	}
+	if err := cfg.Manager.Setup(env); err != nil {
+		return Result{}, fmt.Errorf("colo: %s setup: %w", cfg.Manager.Name(), err)
+	}
+	if env.PrefillID == 0 || env.DecodeID == 0 {
+		return Result{}, fmt.Errorf("colo: %s setup did not place the LLM workers", cfg.Manager.Name())
+	}
+
+	interval := cfg.Manager.Interval()
+	nextTick := interval
+	var alloc []AllocSample
+
+	var basePrefill, baseDecode, baseBE machine.TaskStats
+	baseEnergy, baseTime := 0.0, 0.0
+	measured := false
+
+	snapshot := func() {
+		basePrefill, _ = m.Stats(env.PrefillID)
+		baseDecode, _ = m.Stats(env.DecodeID)
+		if env.BEID != 0 {
+			baseBE, _ = m.Stats(env.BEID)
+		}
+		baseEnergy = m.EnergyJ()
+		baseTime = m.Now()
+	}
+	var baseStats serve.Stats
+
+	for m.Now() < cfg.HorizonS {
+		now := m.Now()
+		for _, r := range emit(now, cfg.DT) {
+			if err := eng.Submit(r); err != nil {
+				return Result{}, err
+			}
+		}
+		if interval > 0 && now >= nextTick {
+			if err := cfg.Manager.Tick(env, now); err != nil {
+				return Result{}, fmt.Errorf("colo: %s tick: %w", cfg.Manager.Name(), err)
+			}
+			nextTick += interval
+			if cfg.TrackAlloc && env.BEID != 0 {
+				p, _ := m.Placement(env.BEID)
+				ways, _ := env.RDT.Ways(p.COS)
+				mba, _ := env.RDT.MBA(p.COS)
+				alloc = append(alloc, AllocSample{
+					Now: now, BEWays: ways.Count(), BEMBA: mba, BECores: p.Cores(),
+				})
+			}
+		}
+		if !measured && now >= cfg.WarmupS {
+			snapshot()
+			baseStats = eng.Stats().Clone()
+			measured = true
+		}
+		m.Step(cfg.DT)
+	}
+	if !measured {
+		snapshot()
+		baseStats = eng.Stats().Clone()
+	}
+
+	elapsed := m.Now() - baseTime
+	if elapsed <= 0 {
+		elapsed = cfg.DT
+	}
+	curPrefill, _ := m.Stats(env.PrefillID)
+	curDecode, _ := m.Stats(env.DecodeID)
+	dPrefill := curPrefill.Sub(basePrefill)
+	dDecode := curDecode.Sub(baseDecode)
+	var dBE machine.TaskStats
+	if env.BEID != 0 {
+		cur, _ := m.Stats(env.BEID)
+		dBE = cur.Sub(baseBE)
+	}
+	st := eng.Stats()
+
+	prices := metrics.DefaultPrices(gamma)
+	rawH := (st.PrefillTokens - baseStats.PrefillTokens) / elapsed
+	rawL := (st.DecodeTokens - baseStats.DecodeTokens) / elapsed
+	perfH := (st.GuaranteedPrefillTokens - baseStats.GuaranteedPrefillTokens) / elapsed
+	perfL := (st.TPOTMet - baseStats.TPOTMet) / elapsed
+	reqPS := float64(st.PrefillRequests-baseStats.PrefillRequests) / elapsed
+	perfN := dBE.Work / elapsed
+	watts := (m.EnergyJ() - baseEnergy) / elapsed
+
+	coRunner := "none"
+	if cfg.BE != nil {
+		coRunner = cfg.BE.Name
+	}
+	res := Result{
+		Scheme:   cfg.Manager.Name(),
+		Scenario: cfg.Scen.Name,
+		CoRunner: coRunner,
+		Platform: cfg.Plat.Name,
+
+		PerfH: perfH, PerfL: perfL,
+		RawPerfH: rawH, RawPerfL: rawL,
+		RequestsPS: reqPS,
+		PerfN:      perfN,
+		Watts:      watts,
+		Eff:        metrics.Efficiency(prices, perfH, perfL, perfN, watts),
+
+		TTFTGuarantee:       guaranteeDelta(float64(st.TTFTMet-baseStats.TTFTMet), float64(st.PrefillRequests-baseStats.PrefillRequests)),
+		TTFTGuaranteeScaled: guaranteeDelta(float64(st.TTFTMetScaled-baseStats.TTFTMetScaled), float64(st.PrefillRequests-baseStats.PrefillRequests)),
+		TPOTGuarantee:       guaranteeDelta(st.TPOTMet-baseStats.TPOTMet, st.DecodeTokens-baseStats.DecodeTokens),
+		MeanTTFT:            meanDelta(st.TTFTSum-baseStats.TTFTSum, float64(st.PrefillRequests-baseStats.PrefillRequests)),
+		MeanTPOT:            meanDelta(st.TPOTSum-baseStats.TPOTSum, st.DecodeTokens-baseStats.DecodeTokens),
+		TailTPOT:            st.TailTPOT(90),
+		TailTTFT:            st.TailTTFT(90),
+		GoodTokensPS:        (st.GuaranteedTokens - baseStats.GuaranteedTokens) / elapsed,
+
+		MeanGHzPrefill: dPrefill.MeanGHz(),
+		MeanGHzDecode:  dDecode.MeanGHz(),
+		MeanGHzBE:      dBE.MeanGHz(),
+
+		PrefillStats: dPrefill,
+		DecodeStats:  dDecode,
+		BEStats:      dBE,
+
+		Alloc:  alloc,
+		Prices: prices,
+	}
+	return res, nil
+}
+
+func guaranteeDelta(met, total float64) float64 {
+	if total <= 0 {
+		return 1
+	}
+	return met / total
+}
+
+func meanDelta(sum, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return sum / n
+}

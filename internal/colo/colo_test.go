@@ -1,0 +1,210 @@
+package colo
+
+import (
+	"errors"
+	"testing"
+
+	"aum/internal/llm"
+	"aum/internal/machine"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// exclusiveMgr is a minimal exclusive manager (the real baselines live
+// in internal/manager, which depends on this package).
+type exclusiveMgr struct{}
+
+func (exclusiveMgr) Name() string             { return "ALL-AU" }
+func (exclusiveMgr) Interval() float64        { return 0 }
+func (exclusiveMgr) Tick(*Env, float64) error { return nil }
+func (exclusiveMgr) Setup(e *Env) error {
+	half := e.Plat.Cores / 2
+	return e.AddLLM(
+		machine.Placement{CoreLo: 0, CoreHi: half - 1, SMTSlot: 0},
+		machine.Placement{CoreLo: half, CoreHi: e.Plat.Cores - 1, SMTSlot: 0},
+	)
+}
+
+// sharedMgr is a minimal partitioned-sharing manager.
+type sharedMgr struct{}
+
+func (sharedMgr) Name() string             { return "RP-lite" }
+func (sharedMgr) Interval() float64        { return 0.05 }
+func (sharedMgr) Tick(*Env, float64) error { return nil }
+func (sharedMgr) Setup(e *Env) error {
+	n := e.Plat.Cores
+	if err := e.AddLLM(
+		machine.Placement{CoreLo: 0, CoreHi: n/2 - 1, SMTSlot: 0},
+		machine.Placement{CoreLo: n / 2, CoreHi: 3*n/4 - 1, SMTSlot: 0},
+	); err != nil {
+		return err
+	}
+	return e.AddBE(machine.Placement{CoreLo: 3 * n / 4, CoreHi: n - 1, SMTSlot: 0, COS: 1})
+}
+
+func baseConfig() Config {
+	return Config{
+		Plat:     platform.GenA(),
+		Model:    llm.Llama2_7B(),
+		Scen:     trace.Chatbot(),
+		Manager:  exclusiveMgr{},
+		HorizonS: 10,
+		Seed:     7,
+	}
+}
+
+func TestExclusiveRun(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "ALL-AU" || res.CoRunner != "none" {
+		t.Fatalf("labels: %+v", res.Scheme)
+	}
+	if res.RawPerfH <= 0 || res.RawPerfL <= 0 {
+		t.Fatal("no serving throughput")
+	}
+	if res.PerfN != 0 {
+		t.Fatal("exclusive run should have zero shared work")
+	}
+	if res.Watts <= 100 || res.Watts > platform.GenA().TDPWatts {
+		t.Fatalf("implausible power %v", res.Watts)
+	}
+	for _, g := range []float64{res.TTFTGuarantee, res.TTFTGuaranteeScaled, res.TPOTGuarantee} {
+		if g < 0 || g > 1 {
+			t.Fatalf("guarantee out of range: %v", g)
+		}
+	}
+	if res.PerfH > res.RawPerfH {
+		t.Fatal("guaranteed throughput cannot exceed raw")
+	}
+	if res.Eff <= 0 {
+		t.Fatal("efficiency not computed")
+	}
+}
+
+func TestSharedRun(t *testing.T) {
+	cfg := baseConfig()
+	jbb := workload.SPECjbb()
+	cfg.BE = &jbb
+	cfg.Manager = sharedMgr{}
+	cfg.TrackAlloc = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfN <= 0 {
+		t.Fatal("co-runner did no work")
+	}
+	if res.CoRunner != "SPECjbb" {
+		t.Fatalf("co-runner label %q", res.CoRunner)
+	}
+	if len(res.Alloc) == 0 {
+		t.Fatal("allocation trace not recorded")
+	}
+	for _, a := range res.Alloc {
+		if a.BEWays < 1 || a.BEMBA < 10 || a.BECores <= 0 {
+			t.Fatalf("invalid allocation sample %+v", a)
+		}
+	}
+	if res.MeanGHzBE <= 0 {
+		t.Fatal("co-runner frequency not tracked")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PerfH != b.PerfH || a.Watts != b.Watts || a.PerfL != b.PerfL {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+type brokenManager struct{}
+
+func (brokenManager) Name() string             { return "broken" }
+func (brokenManager) Interval() float64        { return 0 }
+func (brokenManager) Tick(*Env, float64) error { return nil }
+func (brokenManager) Setup(*Env) error         { return errors.New("boom") }
+
+func TestSetupErrorPropagates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Manager = brokenManager{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("setup error swallowed")
+	}
+}
+
+type lazyManager struct{}
+
+func (lazyManager) Name() string             { return "lazy" }
+func (lazyManager) Interval() float64        { return 0 }
+func (lazyManager) Tick(*Env, float64) error { return nil }
+func (lazyManager) Setup(*Env) error         { return nil } // forgets AddLLM
+
+func TestSetupMustPlaceWorkers(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Manager = lazyManager{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("missing placement not detected")
+	}
+}
+
+type countingManager struct {
+	ticks int
+}
+
+func (c *countingManager) Name() string      { return "counting" }
+func (c *countingManager) Interval() float64 { return 0.05 }
+func (c *countingManager) Setup(e *Env) error {
+	return e.AddLLM(
+		machine.Placement{CoreLo: 0, CoreHi: 47, SMTSlot: 0},
+		machine.Placement{CoreLo: 48, CoreHi: 95, SMTSlot: 0},
+	)
+}
+func (c *countingManager) Tick(*Env, float64) error {
+	c.ticks++
+	return nil
+}
+
+func TestTickCadence(t *testing.T) {
+	cfg := baseConfig()
+	cfg.HorizonS = 2
+	mgr := &countingManager{}
+	cfg.Manager = mgr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 2 s at 50 ms => ~40 ticks.
+	if mgr.ticks < 35 || mgr.ticks > 45 {
+		t.Fatalf("ticks = %d, want ~40", mgr.ticks)
+	}
+}
+
+func TestTraceReplayPinsInputs(t *testing.T) {
+	rec := trace.Record(trace.Chatbot(), 3, 10)
+	run := func() Result {
+		cfg := baseConfig()
+		cfg.Trace = rec
+		cfg.Seed = 99 // the seed must not matter when replaying
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.RawPerfH != b.RawPerfH || a.MeanTTFT != b.MeanTTFT {
+		t.Fatal("replayed runs diverged")
+	}
+	if a.RawPerfL <= 0 {
+		t.Fatal("replayed run produced nothing")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Bucket is one profiled entry of the AUV Model (Table III): the
+// outcome of running the serving workload and the shared application
+// under one (division, resource-configuration) pair. Average (P^a) and
+// 90% tail (P^t) performance are recorded per usage level together with
+// the observed region frequencies and package power.
+type Bucket struct {
+	Division int `json:"division"`
+	Config   int `json:"config"`
+
+	// Region frequencies (GHz), the F column of Table III.
+	FreqH float64 `json:"freq_h"`
+	FreqL float64 `json:"freq_l"`
+	FreqN float64 `json:"freq_n"`
+
+	// Throughputs: prefill tokens/s, decode tokens/s, shared work/s.
+	ThrH float64 `json:"thr_h"`
+	ThrL float64 `json:"thr_l"`
+	ThrN float64 `json:"thr_n"`
+
+	// Latency statistics (seconds): average and 90% tail.
+	TTFTAvg  float64 `json:"ttft_avg"`
+	TTFTTail float64 `json:"ttft_tail"`
+	TPOTAvg  float64 `json:"tpot_avg"`
+	TPOTTail float64 `json:"tpot_tail"`
+
+	// Package power (watts), the W_CPU of the efficiency objective.
+	Watts float64 `json:"watts"`
+
+	Runs int `json:"runs"` // profiling repetitions aggregated
+}
+
+// Model is the discrete AUV Model: the full (division x config) bucket
+// table for one platform / LLM / scenario / co-runner combination, plus
+// the sweep definitions needed to interpret it.
+type Model struct {
+	Platform string `json:"platform"`
+	LLMModel string `json:"llm_model"`
+	Scenario string `json:"scenario"`
+	CoRunner string `json:"co_runner"`
+
+	Divisions []Division       `json:"divisions"`
+	Configs   []ResourceConfig `json:"configs"`
+	Buckets   []Bucket         `json:"buckets"` // len(Divisions)*len(Configs), config-major
+
+	ProfileRuns int     `json:"profile_runs"` // total simulator executions
+	Gamma       float64 `json:"gamma"`        // co-runner revenue price
+}
+
+// Bucket returns the bucket for (division d, config c).
+func (m *Model) Bucket(d, c int) *Bucket {
+	if d < 0 || d >= len(m.Divisions) || c < 0 || c >= len(m.Configs) {
+		return nil
+	}
+	return &m.Buckets[d*len(m.Configs)+c]
+}
+
+// Validate checks structural consistency.
+func (m *Model) Validate() error {
+	if len(m.Divisions) == 0 || len(m.Configs) == 0 {
+		return fmt.Errorf("core: AUV model has empty sweep definitions")
+	}
+	if len(m.Buckets) != len(m.Divisions)*len(m.Configs) {
+		return fmt.Errorf("core: AUV model has %d buckets, want %d",
+			len(m.Buckets), len(m.Divisions)*len(m.Configs))
+	}
+	for i, b := range m.Buckets {
+		if b.Watts <= 0 {
+			return fmt.Errorf("core: bucket %d has non-positive power", i)
+		}
+	}
+	return nil
+}
+
+// Efficiency returns the bucket's weighted performance-per-watt under
+// the given token and work prices (Algorithm 1 line 4).
+func (b *Bucket) Efficiency(alpha, beta, gamma float64) float64 {
+	if b.Watts <= 0 {
+		return 0
+	}
+	return (alpha*b.ThrH + beta*b.ThrL + gamma*b.ThrN) / b.Watts
+}
+
+// Sensitivity is the per-resource gradient the collision-aware tuner
+// uses to decide which resource to harvest first: how much the AU tail
+// latencies grow and the shared throughput gains per step of each
+// resource.
+type Sensitivity struct {
+	// Per extra LLC way granted to the shared app.
+	WaysTPOT float64 // d(tail TPOT)/d(way), seconds
+	WaysTTFT float64
+	WaysThrN float64
+	// Per extra 10% MBA granted to the shared app.
+	MBATPOT float64
+	MBATTFT float64
+	MBAThrN float64
+}
+
+// Sensitivities estimates per-resource gradients for a division from
+// the axis-aligned probe configs (0-2 vary ways, 0/3/4 vary MBA).
+func (m *Model) Sensitivities(d int) Sensitivity {
+	var s Sensitivity
+	c0, c2 := m.Bucket(d, 0), m.Bucket(d, 2)
+	if c0 != nil && c2 != nil {
+		dw := float64(m.Configs[2].BEWays - m.Configs[0].BEWays)
+		if dw > 0 {
+			s.WaysTPOT = (c2.TPOTTail - c0.TPOTTail) / dw
+			s.WaysTTFT = (c2.TTFTTail - c0.TTFTTail) / dw
+			s.WaysThrN = (c2.ThrN - c0.ThrN) / dw
+		}
+	}
+	c4 := m.Bucket(d, 4)
+	if c0 != nil && c4 != nil {
+		dm := float64(m.Configs[4].BEMBA-m.Configs[0].BEMBA) / 10
+		if dm > 0 {
+			s.MBATPOT = (c4.TPOTTail - c0.TPOTTail) / dm
+			s.MBATTFT = (c4.TTFTTail - c0.TTFTTail) / dm
+			s.MBAThrN = (c4.ThrN - c0.ThrN) / dm
+		}
+	}
+	return s
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding AUV model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading AUV model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: decoding AUV model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

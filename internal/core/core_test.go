@@ -1,0 +1,247 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aum/internal/colo"
+	"aum/internal/llm"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func TestClassifyARI(t *testing.T) {
+	if ClassifyARI(5000) != UsageHigh {
+		t.Fatal("prefill-grade intensity should classify High")
+	}
+	if ClassifyARI(30) != UsageLow {
+		t.Fatal("decode-grade intensity should classify Low")
+	}
+	if ClassifyARI(0.2) != UsageNone {
+		t.Fatal("sub-unit intensity should classify None")
+	}
+	if UsageHigh.String() != "High" || UsageLow.String() != "Low" || UsageNone.String() != "None" {
+		t.Fatal("level names")
+	}
+}
+
+func TestClassifyPlan(t *testing.T) {
+	m := llm.Llama2_7B()
+	if got := ClassifyPlan(m.PlanPrefill(16, 512)); got != UsageHigh {
+		t.Fatalf("prefill classified %v", got)
+	}
+	if got := ClassifyPlan(m.PlanDecode(16, 600)); got != UsageLow {
+		t.Fatalf("decode classified %v", got)
+	}
+}
+
+func TestDivisions(t *testing.T) {
+	divs := Divisions()
+	if len(divs) != 3 {
+		t.Fatal("the paper sweeps three dividings")
+	}
+	prevShared := -1
+	for _, d := range divs {
+		sp := d.Split(96)
+		total := (sp.HiHi - sp.HiLo + 1) + (sp.LoHi - sp.LoLo + 1) + sp.SharedCores()
+		if total != 96 {
+			t.Fatalf("%s covers %d of 96 cores", d.Name, total)
+		}
+		// The high-AU region is the largest in every candidate.
+		if sp.HiHi-sp.HiLo < sp.LoHi-sp.LoLo {
+			t.Fatalf("%s: prefill region smaller than decode", d.Name)
+		}
+		// Shared cores grow monotonically across the candidates.
+		if sp.SharedCores() <= prevShared {
+			t.Fatalf("shared region not increasing across dividings")
+		}
+		prevShared = sp.SharedCores()
+	}
+}
+
+func TestConfigsAxisAligned(t *testing.T) {
+	cfgs := Configs(15)
+	if len(cfgs) != 5 {
+		t.Fatal("the paper profiles five resource configurations")
+	}
+	// Configs 0-2 vary ways at fixed bandwidth; 0,3,4 vary bandwidth.
+	if !(cfgs[0].BEWays < cfgs[1].BEWays && cfgs[1].BEWays < cfgs[2].BEWays) {
+		t.Fatal("way probes not increasing")
+	}
+	if cfgs[0].BEMBA != cfgs[1].BEMBA || cfgs[1].BEMBA != cfgs[2].BEMBA {
+		t.Fatal("way probes should hold bandwidth fixed")
+	}
+	if !(cfgs[0].BEMBA < cfgs[3].BEMBA && cfgs[3].BEMBA < cfgs[4].BEMBA) {
+		t.Fatal("bandwidth probes not increasing")
+	}
+	if cfgs[3].BEWays != cfgs[0].BEWays || cfgs[4].BEWays != cfgs[0].BEWays {
+		t.Fatal("bandwidth probes should hold ways fixed")
+	}
+}
+
+// smallProfile builds a quick AUV model for controller tests.
+func smallProfile(t *testing.T) *Model {
+	t.Helper()
+	m, err := Profile(platform.GenA(), llm.Llama2_7B(), trace.Chatbot(), workload.SPECjbb(),
+		ProfilerOptions{Reps: 2, HorizonS: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProfileStructure(t *testing.T) {
+	m := smallProfile(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ProfileRuns != 30 {
+		t.Fatalf("runs = %d, want 3x5x2", m.ProfileRuns)
+	}
+	for d := range m.Divisions {
+		for c := range m.Configs {
+			b := m.Bucket(d, c)
+			if b.Division != d || b.Config != c {
+				t.Fatalf("bucket indices wrong at d%d c%d", d, c)
+			}
+			if b.Watts <= 0 || b.ThrL <= 0 {
+				t.Fatalf("bucket d%d c%d not populated: %+v", d, c, b)
+			}
+			if b.FreqH < 1.2 || b.FreqH > 3.3 {
+				t.Fatalf("bucket frequency implausible: %v", b.FreqH)
+			}
+		}
+	}
+	if m.Bucket(-1, 0) != nil || m.Bucket(0, 99) != nil {
+		t.Fatal("out-of-range bucket lookup should return nil")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := smallProfile(t)
+	path := filepath.Join(t.TempDir(), "auv.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Platform != m.Platform || got.CoRunner != m.CoRunner || len(got.Buckets) != len(m.Buckets) {
+		t.Fatal("round trip lost fields")
+	}
+	if got.Bucket(1, 2).ThrN != m.Bucket(1, 2).ThrN {
+		t.Fatal("round trip lost bucket data")
+	}
+	// Corrupt files are rejected.
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+}
+
+func TestSensitivities(t *testing.T) {
+	m := smallProfile(t)
+	s := m.Sensitivities(0)
+	// Giving the shared app more resources must not reduce its
+	// throughput estimate catastrophically; the gradient should exist.
+	if s.WaysThrN == 0 && s.MBAThrN == 0 {
+		t.Fatal("no resource gradients recovered")
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	m := smallProfile(t)
+	aum, err := NewAUM(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aum.Name() != "AUM" || aum.Interval() != 0.05 {
+		t.Fatal("controller identity")
+	}
+	jbb := workload.SPECjbb()
+	res, err := colo.Run(colo.Config{
+		Plat: platform.GenA(), Model: llm.Llama2_7B(), Scen: trace.Chatbot(),
+		BE: &jbb, Manager: aum, HorizonS: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawPerfL <= 0 || res.PerfN <= 0 {
+		t.Fatal("AUM run produced no work")
+	}
+	ways, mba := aum.Allocation()
+	if ways < 1 || mba < 10 || mba > 100 {
+		t.Fatalf("allocation out of bounds: ways=%d mba=%d", ways, mba)
+	}
+	if aum.HarvestSteps+aum.ReturnSteps == 0 {
+		t.Fatal("tuner never acted")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	m := smallProfile(t)
+	jbb := workload.SPECjbb()
+	builders := []func() (colo.Manager, error){
+		func() (colo.Manager, error) { return NewAUUP(m, Options{}) },
+		func() (colo.Manager, error) { return NewAUFI(m, Options{}) },
+		func() (colo.Manager, error) { return NewAURB(m, Options{}) },
+	}
+	for _, build := range builders {
+		mgr, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := colo.Run(colo.Config{
+			Plat: platform.GenA(), Model: llm.Llama2_7B(), Scen: trace.Chatbot(),
+			BE: &jbb, Manager: mgr, HorizonS: 6, Seed: 13,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mgr.Name(), err)
+		}
+		if res.RawPerfL <= 0 {
+			t.Fatalf("%s produced no tokens", mgr.Name())
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	var empty Model
+	if empty.Validate() == nil {
+		t.Fatal("empty model accepted")
+	}
+	m := smallProfile(t)
+	m.Buckets = m.Buckets[:3]
+	if m.Validate() == nil {
+		t.Fatal("truncated bucket table accepted")
+	}
+	if _, err := NewAUM(&Model{}, Options{}); err == nil {
+		t.Fatal("controller accepted an invalid model")
+	}
+}
+
+func TestFeasibleBounds(t *testing.T) {
+	m := smallProfile(t)
+	// cc's 75 ms TTFT is unattainable: the bound must relax to +Inf so
+	// the efficiency objective takes over (prompt-machine mode).
+	bT, _ := feasibleBounds(m, 0.005, 0.1)
+	if bT < 1e9 {
+		t.Fatalf("unattainable TTFT bound not relaxed: %v", bT)
+	}
+	// A generous SLO keeps its soft margin.
+	bT, _ = feasibleBounds(m, 100, 100)
+	if bT > 200 {
+		t.Fatalf("attainable bound over-relaxed: %v", bT)
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Alpha != 1.8 || o.Beta != 0.2 || o.DeltaThreshold != 2 || o.IntervalS != 0.05 {
+		t.Fatalf("defaults diverge from Section VII-A1: %+v", o)
+	}
+}

@@ -1,0 +1,72 @@
+// Package core implements AUM, the paper's AU-aware resource manager:
+// the Background AU Profiler that condenses the three-dimensional AU
+// variations into a discrete AUV Model (Section VI-B), and the Runtime
+// AU Controller that executes Algorithm 1 — slack-aware SLO analysis,
+// efficiency-aware core switching, and collision-aware allocation
+// tuning.
+package core
+
+import "aum/internal/manager"
+
+// Division is one frequency-aware processor dividing (Section VI-B2):
+// three contiguous regions for high-AU (prefill), low-AU (decode), and
+// none-AU (shared) work. Fractions are of the physical core count; the
+// none-AU region takes the remainder.
+type Division struct {
+	Name  string
+	FracH float64
+	FracL float64
+}
+
+// Divisions returns the three candidate dividings the profiler sweeps.
+// They span the trade-off the paper describes: protecting AU throughput
+// versus freeing cores (and thermal headroom) for shared work.
+func Divisions() []Division {
+	// The high-AU (prefill) region is the largest in every candidate:
+	// prefill is compute-bound and scales with cores, while decode is
+	// bandwidth-bound and saturates on a small region — the same
+	// asymmetry as Table III's example (High 0-11, Low 12-15).
+	return []Division{
+		{Name: "au-heavy", FracH: 0.62, FracL: 0.22},
+		{Name: "balanced", FracH: 0.50, FracL: 0.26},
+		{Name: "share-heavy", FracH: 0.38, FracL: 0.24},
+	}
+}
+
+// Split materializes a division on a platform with the given core
+// count.
+func (d Division) Split(totalCores int) manager.Split {
+	return manager.NewSplit(totalCores, d.FracH, d.FracL)
+}
+
+// ResourceConfig is one bound-aware resource configuration: how many
+// LLC ways and how much memory bandwidth the shared application gets
+// (the AU application keeps the rest; its MBA stays unthrottled, as the
+// paper protects the latency-critical side).
+type ResourceConfig struct {
+	Name   string
+	BEWays int // LLC ways granted to the shared app
+	BEMBA  int // MBA percent granted to the shared app
+}
+
+// Configs returns the five performance-sensitive resource
+// configurations of the profiling sweep (Section VI-B3). They are
+// chosen as axis-aligned probes around a conservative anchor so the
+// controller can estimate *per-resource* sensitivities: configs 0-2
+// vary LLC ways at fixed bandwidth, configs 0,3,4 vary bandwidth at
+// fixed ways.
+func Configs(llcWays int) []ResourceConfig {
+	w1 := llcWays / 5
+	if w1 < 1 {
+		w1 = 1
+	}
+	w2 := llcWays / 3
+	w3 := llcWays / 2
+	return []ResourceConfig{
+		{Name: "anchor", BEWays: w1, BEMBA: 20},
+		{Name: "ways+", BEWays: w2, BEMBA: 20},
+		{Name: "ways++", BEWays: w3, BEMBA: 20},
+		{Name: "mba+", BEWays: w1, BEMBA: 60},
+		{Name: "mba++", BEWays: w1, BEMBA: 100},
+	}
+}

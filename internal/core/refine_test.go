@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"aum/internal/colo"
+	"aum/internal/llm"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func TestOnlineRefineUpdatesBuckets(t *testing.T) {
+	m := smallProfile(t)
+	// Snapshot the bucket table before the run.
+	before := make([]Bucket, len(m.Buckets))
+	copy(before, m.Buckets)
+
+	aum, err := NewAUM(m, Options{OnlineRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbb := workload.SPECjbb()
+	jbb.PerCoreRate *= 3 // drift: the profiled rate is stale
+	if _, err := colo.Run(colo.Config{
+		Plat: platform.GenA(), Model: llm.Llama2_7B(), Scen: trace.Chatbot(),
+		BE: &jbb, Manager: aum, HorizonS: 8, Seed: 21,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aum.RefineSteps == 0 {
+		t.Fatal("refinement never ran")
+	}
+	changed := false
+	for i := range m.Buckets {
+		if m.Buckets[i].ThrN != before[i].ThrN || m.Buckets[i].TPOTTail != before[i].TPOTTail {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("refinement left every bucket untouched")
+	}
+	// The drifted co-runner runs 3x hotter: the refined shared
+	// throughput of the active bucket should exceed its profiled value.
+	b := m.Bucket(aum.Division(), aum.nearestConfig())
+	if b.ThrN <= before[aum.Division()*len(m.Configs)+aum.nearestConfig()].ThrN {
+		t.Fatal("refined ThrN did not track the hotter co-runner")
+	}
+}
+
+func TestOfflineModeLeavesModelAlone(t *testing.T) {
+	m := smallProfile(t)
+	before := make([]Bucket, len(m.Buckets))
+	copy(before, m.Buckets)
+	aum, err := NewAUM(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbb := workload.SPECjbb()
+	if _, err := colo.Run(colo.Config{
+		Plat: platform.GenA(), Model: llm.Llama2_7B(), Scen: trace.Chatbot(),
+		BE: &jbb, Manager: aum, HorizonS: 6, Seed: 21,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aum.RefineSteps != 0 {
+		t.Fatal("offline mode refined")
+	}
+	for i := range m.Buckets {
+		if m.Buckets[i] != before[i] {
+			t.Fatal("offline mode mutated the model")
+		}
+	}
+}
+
+func TestNearestConfig(t *testing.T) {
+	m := smallProfile(t)
+	aum, err := NewAUM(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force allocation onto an exact probe point; nearestConfig must
+	// return it.
+	aum.beWays = m.Configs[2].BEWays
+	aum.beMBA = m.Configs[2].BEMBA
+	if got := aum.nearestConfig(); got != 2 {
+		t.Fatalf("nearestConfig = %d, want 2", got)
+	}
+	aum.beWays = m.Configs[4].BEWays
+	aum.beMBA = m.Configs[4].BEMBA
+	if got := aum.nearestConfig(); got != 4 {
+		t.Fatalf("nearestConfig = %d, want 4", got)
+	}
+}

@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"aum/internal/colo"
+	"aum/internal/core"
+	"aum/internal/llm"
+	"aum/internal/metrics"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "table3", Paper: "Table III", Title: "An example bucket of the AUV model", Run: runTable3})
+	register(Experiment{ID: "fig14", Paper: "Figure 14", Title: "CPU efficiency across schemes, scenarios, co-runners", Run: runFig14})
+	register(Experiment{ID: "fig15", Paper: "Figure 15", Title: "Efficiency across hardware platforms (sharing SPECjbb)", Run: runFig15})
+	register(Experiment{ID: "fig16", Paper: "Figure 16", Title: "Decomposed AU and shared-application performance", Run: runFig16})
+	register(Experiment{ID: "fig17", Paper: "Figure 17", Title: "SLO guarantee ratios (TTFT and TPOT)", Run: runFig17})
+	register(Experiment{ID: "fig18", Paper: "Figure 18", Title: "Resource allocation CDF for the shared application", Run: runFig18})
+	register(Experiment{ID: "sens", Paper: "Section VII-D", Title: "Token-price sensitivity (alpha/beta)", Run: runSens})
+	register(Experiment{ID: "overhead", Paper: "Section VII-D", Title: "Profiling and runtime overheads", Run: runOverhead})
+	register(Experiment{ID: "tco", Paper: "Section VII-E", Title: "Total cost of ownership analysis", Run: runTCO})
+}
+
+func runTable3(l *Lab, o Options) (*Table, error) {
+	plat := platform.GenA()
+	m, err := l.Model(plat, llm.Llama2_7B(), trace.Chatbot(), workload.SPECjbb(), o)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the statically best bucket like the controller would.
+	mgr, err := core.NewAUM(m, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_ = mgr
+	best := m.Bucket(0, 0)
+	bestE := best.Efficiency(1.8, 0.2, m.Gamma)
+	for d := range m.Divisions {
+		for c := range m.Configs {
+			if b := m.Bucket(d, c); b.Efficiency(1.8, 0.2, m.Gamma) > bestE {
+				best, bestE = b, b.Efficiency(1.8, 0.2, m.Gamma)
+			}
+		}
+	}
+	div := m.Divisions[best.Division]
+	sp := div.Split(plat.Cores)
+	cfg := m.Configs[best.Config]
+	auWays := plat.LLC.Ways - cfg.BEWays
+
+	t := &Table{ID: "table3", Title: fmt.Sprintf("AUV bucket (division %q, config %q)", div.Name, cfg.Name),
+		Columns: []string{"cores-lo", "cores-hi", "F-GHz", "LLC-ways", "MBA%", "P^a", "P^t"}}
+	t.AddRow("High", float64(sp.HiLo), float64(sp.HiHi), best.FreqH, float64(auWays), 100, best.TTFTAvg*1e3, best.TTFTTail*1e3)
+	t.AddRow("Low", float64(sp.LoLo), float64(sp.LoHi), best.FreqL, float64(auWays), 100, best.TPOTAvg*1e3, best.TPOTTail*1e3)
+	t.AddRow("None", float64(sp.NoLo), float64(sp.NoHi), best.FreqN, float64(cfg.BEWays), float64(cfg.BEMBA), best.ThrN/1e3, best.ThrN/1e3*0.9)
+	t.AddNote("High/Low P in ms (TTFT/TPOT avg and 90%% tail); None P in kilo-units/s; W_CPU = %.0f W over %d profiling runs", best.Watts, m.ProfileRuns)
+	return t, nil
+}
+
+// fig14Cell runs one (scheme, scenario, co-runner) cell and returns its
+// efficiency.
+func (l *Lab) fig14Cell(scheme string, scen trace.Scenario, be *workload.Profile, o Options) (float64, error) {
+	spec := RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: scen, BE: be}
+	if scheme == "ALL-AU" {
+		spec.BE = nil // exclusive: the co-runner is not scheduled
+	}
+	res, err := l.Run(spec, o)
+	if err != nil {
+		return 0, err
+	}
+	// Efficiency is priced with the *cell's* co-runner gamma even for
+	// the exclusive baseline (whose PerfN is zero anyway).
+	gamma := 0.0
+	if be != nil {
+		gamma = be.RevenuePrice
+	}
+	return metrics.Efficiency(metrics.Prices{Alpha: 1.8, Beta: 0.2, Gamma: gamma},
+		res.PerfH, res.PerfL, res.PerfN, res.Watts), nil
+}
+
+func runFig14(l *Lab, o Options) (*Table, error) {
+	scens := trace.All()
+	beList := workload.CoRunners()
+	cols := make([]string, 0, len(scens)*len(beList))
+	for _, s := range scens {
+		for _, be := range beList {
+			cols = append(cols, s.Name+"/"+be.Name)
+		}
+	}
+	cols = append(cols, "avg")
+	t := &Table{ID: "fig14", Title: "Perf-per-watt efficiency normalized to ALL-AU under cb", Columns: cols}
+
+	// Normalization base: ALL-AU under the chatbot scenario.
+	base, err := l.fig14Cell("ALL-AU", trace.Chatbot(), nil, o)
+	if err != nil {
+		return nil, err
+	}
+	nCells := len(scens) * len(beList)
+	grid := make([][]float64, len(SchemeNames))
+	for i := range grid {
+		grid[i] = make([]float64, nCells)
+	}
+	err = l.Parallel(len(SchemeNames)*nCells, func(k int) error {
+		si := k / nCells
+		cell := k % nCells
+		s := scens[cell/len(beList)]
+		be := beList[cell%len(beList)]
+		e, err := l.fig14Cell(SchemeNames[si], s, &be, o)
+		if err != nil {
+			return err
+		}
+		grid[si][cell] = e / base
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, scheme := range SchemeNames {
+		sum := 0.0
+		for _, v := range grid[i] {
+			sum += v
+		}
+		t.AddRow(scheme, append(grid[i], sum/float64(nCells))...)
+	}
+	t.AddNote("paper: AUM avg +8.8%% vs AU-exclusive and +4.7%% vs the best AUV-oblivious scheme; OLAP co-running is marginal")
+	return t, nil
+}
+
+func runFig15(l *Lab, o Options) (*Table, error) {
+	jbb := workload.SPECjbb()
+	scens := trace.All()
+	cols := make([]string, 0, len(scens))
+	for _, s := range scens {
+		cols = append(cols, s.Name)
+	}
+	t := &Table{ID: "fig15", Title: "Efficiency on evolving platforms with SPECjbb (normalized to ALL-AU on GenA)", Columns: cols}
+
+	var base float64
+	for _, plat := range platform.All() {
+		for _, scheme := range []string{"ALL-AU", "AUM"} {
+			vals := make([]float64, 0, len(scens))
+			for _, s := range scens {
+				spec := RunSpec{Plat: plat, Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &jbb}
+				if scheme == "ALL-AU" {
+					spec.BE = nil
+				}
+				res, err := l.Run(spec, o)
+				if err != nil {
+					return nil, err
+				}
+				e := metrics.Efficiency(metrics.Prices{Alpha: 1.8, Beta: 0.2, Gamma: jbb.RevenuePrice},
+					res.PerfH, res.PerfL, res.PerfN, res.Watts)
+				if base == 0 && plat.Name == "GenA" && scheme == "ALL-AU" && s.Name == "cb" {
+					base = e
+				}
+				vals = append(vals, e)
+			}
+			for i := range vals {
+				vals[i] /= base
+			}
+			t.AddRow(plat.Name+"/"+scheme, vals...)
+		}
+	}
+	t.AddNote("paper: newer platforms ~1.55x exclusive efficiency on average; AUM's relative gain grows with platform headroom (19/11/17%% on GenC)")
+	return t, nil
+}
+
+func runFig16(l *Lab, o Options) (*Table, error) {
+	scens := trace.All()
+	beList := workload.CoRunners()
+	t := &Table{ID: "fig16", Title: "Decomposed performance: AU vs ALL-AU, shared vs RP-AU (scenario-averaged)",
+		Columns: []string{"AU-perf", "Compute", "OLAP", "SPECjbb"}}
+
+	// References.
+	auRef := make(map[string]float64) // scenario -> ALL-AU weighted AU perf
+	beRef := make(map[string]float64) // scenario/be -> RP-AU shared perf
+	for _, s := range scens {
+		res, err := l.Run(RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: "ALL-AU", Scen: s}, o)
+		if err != nil {
+			return nil, err
+		}
+		auRef[s.Name] = 1.8*res.PerfH + 0.2*res.PerfL
+		for i := range beList {
+			rp, err := l.Run(RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: "RP-AU", Scen: s, BE: &beList[i]}, o)
+			if err != nil {
+				return nil, err
+			}
+			beRef[s.Name+"/"+beList[i].Name] = rp.PerfN
+		}
+	}
+
+	for _, scheme := range SchemeNames {
+		var auSum float64
+		beSums := make([]float64, len(beList))
+		n := 0
+		for _, s := range scens {
+			for i := range beList {
+				spec := RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &beList[i]}
+				if scheme == "ALL-AU" {
+					spec.BE = nil
+				}
+				res, err := l.Run(spec, o)
+				if err != nil {
+					return nil, err
+				}
+				auSum += (1.8*res.PerfH + 0.2*res.PerfL) / auRef[s.Name]
+				if ref := beRef[s.Name+"/"+beList[i].Name]; ref > 0 {
+					beSums[i] += res.PerfN / ref / float64(len(scens))
+				}
+				n++
+			}
+		}
+		t.AddRow(scheme, append([]float64{auSum / float64(n)}, beSums...)...)
+	}
+	t.AddNote("ALL-AU: best AU performance, zero sharing; AU-UP favors the AU side; AU-FI favors sharing; AUM balances")
+	return t, nil
+}
+
+func runFig17(l *Lab, o Options) (*Table, error) {
+	jbb := workload.SPECjbb()
+	scens := trace.All()
+	cols := make([]string, 0, 2*len(scens))
+	for _, s := range scens {
+		cols = append(cols, "TTFT-"+s.Name)
+	}
+	for _, s := range scens {
+		cols = append(cols, "TPOT-"+s.Name)
+	}
+	t := &Table{ID: "fig17", Title: "SLO guarantee ratio when sharing with SPECjbb", Columns: cols}
+	for _, scheme := range SchemeNames {
+		ttft := make([]float64, 0, len(scens))
+		tpot := make([]float64, 0, len(scens))
+		for _, s := range scens {
+			spec := RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &jbb}
+			if scheme == "ALL-AU" {
+				spec.BE = nil
+			}
+			res, err := l.Run(spec, o)
+			if err != nil {
+				return nil, err
+			}
+			ttft = append(ttft, res.TTFTGuarantee)
+			tpot = append(tpot, res.TPOTGuarantee)
+		}
+		t.AddRow(scheme, append(ttft, tpot...)...)
+	}
+	t.AddNote("paper: cc TTFT unattainable even exclusively; AUM reaches ~93.6%% on sm TTFT (+11%%) and ~AU-exclusive TPOT (+7%% vs oblivious)")
+	return t, nil
+}
+
+func runFig18(l *Lab, o Options) (*Table, error) {
+	jbb := workload.SPECjbb()
+	scen := trace.Chatbot()
+	quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	cols := make([]string, 0, 2*len(quantiles))
+	for _, q := range quantiles {
+		cols = append(cols, fmt.Sprintf("ways-p%.0f", q*100))
+	}
+	for _, q := range quantiles {
+		cols = append(cols, fmt.Sprintf("mba-p%.0f", q*100))
+	}
+	t := &Table{ID: "fig18", Title: "Shared-application allocation distribution (SPECjbb + cb)", Columns: cols}
+	for _, scheme := range []string{"RP-AU", "AU-RB", "AUM"} {
+		res, err := l.Run(RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: scen, BE: &jbb, TrackAlloc: true}, o)
+		if err != nil {
+			return nil, err
+		}
+		var ways, mba []float64
+		for _, a := range res.Alloc {
+			ways = append(ways, float64(a.BEWays))
+			mba = append(mba, float64(a.BEMBA))
+		}
+		cw, cm := metrics.NewCDF(ways), metrics.NewCDF(mba)
+		vals := make([]float64, 0, 2*len(quantiles))
+		for _, q := range quantiles {
+			vals = append(vals, cw.Quantile(q))
+		}
+		for _, q := range quantiles {
+			vals = append(vals, cm.Quantile(q))
+		}
+		t.AddRow(scheme, vals...)
+	}
+	t.AddNote("AUM grants the shared app more LLC and adapts bandwidth; static RP pins it low")
+	return t, nil
+}
+
+func runSens(l *Lab, o Options) (*Table, error) {
+	comp := workload.Compute()
+	scen := trace.CodeCompletion()
+	plat := platform.GenA()
+	model := llm.Llama2_7B()
+	o = o.withDefaults()
+	horizon, _, _ := o.horizons()
+
+	t := &Table{ID: "sens", Title: "AUM vs SMT-AU efficiency gain under token-price settings (cc + Compute)",
+		Columns: []string{"AUM-eff", "SMT-eff", "gain%"}}
+	smt, err := l.Run(RunSpec{Plat: plat, Model: model, Scheme: "SMT-AU", Scen: scen, BE: &comp}, o)
+	if err != nil {
+		return nil, err
+	}
+	auv, err := l.Model(plat, model, scen, comp, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range []struct{ a, b float64 }{{1.8, 0.2}, {0.9, 0.1}} {
+		mgr, err := core.NewAUM(auv, core.Options{Alpha: pr.a, Beta: pr.b})
+		if err != nil {
+			return nil, err
+		}
+		res, err := runDirect(plat, model, scen, &comp, mgr, horizon, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.Prices{Alpha: pr.a, Beta: pr.b, Gamma: comp.RevenuePrice}
+		ea := metrics.Efficiency(p, res.PerfH, res.PerfL, res.PerfN, res.Watts)
+		es := metrics.Efficiency(p, smt.PerfH, smt.PerfL, smt.PerfN, smt.Watts)
+		t.AddRow(fmt.Sprintf("a/b=%.1f/%.1f", pr.a, pr.b), ea, es, 100*(ea/es-1))
+	}
+	t.AddNote("paper: +7.6%% at 1.8/0.2, +9.1%% at 0.9/0.1 (cheaper tokens let AUM harvest more)")
+	return t, nil
+}
+
+func runOverhead(l *Lab, o Options) (*Table, error) {
+	plat := platform.GenA()
+	m, err := l.Model(plat, llm.Llama2_7B(), trace.Chatbot(), workload.SPECjbb(), o)
+	if err != nil {
+		return nil, err
+	}
+	// Controller decision latency: time the bucket search, the
+	// operation on the runtime critical path.
+	mgr, err := core.NewAUM(m, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_ = mgr
+	start := time.Now()
+	const iters = 10000
+	for i := 0; i < iters; i++ {
+		benchSinkD, benchSinkC = bestBucketProbe(m)
+	}
+	perDecision := time.Since(start) / iters
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	fullRuns := len(m.Divisions) * len(m.Configs) * 10 * 3 // x3 sharing apps at paper fidelity
+	t := &Table{ID: "overhead", Title: "AUM overheads",
+		Columns: []string{"value"}}
+	t.AddRow("profile-runs (this model)", float64(m.ProfileRuns))
+	t.AddRow("profile-runs (paper fidelity, 3 apps)", float64(fullRuns))
+	t.AddRow("decision-latency-ns", float64(perDecision.Nanoseconds()))
+	t.AddRow("model-size-KB", float64(len(data))/1024)
+	t.AddNote("paper: ~450 profiling executions; <1 ms decision (table lookup); ~15 MB runtime state")
+	return t, nil
+}
+
+// benchSink prevents the decision-latency loop from being optimized
+// away.
+var benchSinkD, benchSinkC int
+
+// bestBucketProbe mirrors the controller's efficiency-aware search.
+func bestBucketProbe(m *core.Model) (int, int) {
+	bestD, bestC, bestE := 0, 0, -1.0
+	for d := range m.Divisions {
+		for c := range m.Configs {
+			if e := m.Bucket(d, c).Efficiency(1.8, 0.2, m.Gamma); e > bestE {
+				bestD, bestC, bestE = d, c, e
+			}
+		}
+	}
+	return bestD, bestC
+}
+
+func runTCO(l *Lab, o Options) (*Table, error) {
+	fig5, err := runFig5(l, o)
+	if err != nil {
+		return nil, err
+	}
+	// AUM's efficiency uplift over exclusive on GenA (fig14 avg).
+	jbb := workload.SPECjbb()
+	exc, err := l.fig14Cell("ALL-AU", trace.Chatbot(), nil, o)
+	if err != nil {
+		return nil, err
+	}
+	aum, err := l.fig14Cell("AUM", trace.Chatbot(), &jbb, o)
+	if err != nil {
+		return nil, err
+	}
+	uplift := aum / exc
+
+	gpuPerfD, _ := fig5.Get("A100-80GB+FlexGen", "perf/$")
+	cpuPerfD, _ := fig5.Get("GenA", "perf/$")
+	t := &Table{ID: "tco", Title: "Perf-per-CapEx with AUM vs GPU",
+		Columns: []string{"value"}}
+	t.AddRow("AUM-efficiency-uplift", uplift)
+	t.AddRow("CPU perf/$ (exclusive, GenA=1)", cpuPerfD)
+	t.AddRow("GPU perf/$ (GenA=1)", gpuPerfD)
+	if gpuPerfD > 0 {
+		t.AddRow("CPU+AUM perf/CapEx vs GPU", cpuPerfD*uplift/gpuPerfD)
+	}
+	t.AddNote("paper: CPU with AUM reaches ~88%% of GPU performance-per-CapEx... with CPU perf/$ advantage ~1.3x the directions compose to near parity")
+	return t, nil
+}
+
+// runDirect is colo.Run without lab caching (used where the manager is
+// custom-configured).
+func runDirect(plat platform.Platform, model llm.Model, scen trace.Scenario, be *workload.Profile, mgr colo.Manager, horizon float64, seed uint64) (colo.Result, error) {
+	return colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen, BE: be, Manager: mgr, HorizonS: horizon, Seed: seed})
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"aum/internal/colo"
+	"aum/internal/core"
+	"aum/internal/llm"
+	"aum/internal/manager"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// Lab caches AUV models and co-location results across experiments so
+// that Figures 14-18, which share the same run matrix, do not repeat
+// simulations. Model profiling and runs deduplicate concurrent
+// requests, so experiments may fan out cells across goroutines.
+type Lab struct {
+	mu      sync.Mutex
+	models  map[string]*modelEntry
+	runs    map[string]*runEntry
+	workers int
+}
+
+type modelEntry struct {
+	once sync.Once
+	m    *core.Model
+	err  error
+}
+
+type runEntry struct {
+	once sync.Once
+	res  colo.Result
+	err  error
+}
+
+// NewLab returns an empty lab.
+func NewLab() *Lab {
+	return &Lab{
+		models:  make(map[string]*modelEntry),
+		runs:    make(map[string]*runEntry),
+		workers: 8,
+	}
+}
+
+// Parallel runs fn(i) for i in [0, n) across the lab's worker budget
+// and returns the first error.
+func (l *Lab) Parallel(n int, fn func(int) error) error {
+	sem := make(chan struct{}, l.workers)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Model returns (profiling on first use) the AUV model for the
+// combination.
+func (l *Lab) Model(plat platform.Platform, model llm.Model, scen trace.Scenario, be workload.Profile, o Options) (*core.Model, error) {
+	o = o.withDefaults()
+	_, reps, ph := o.horizons()
+	key := fmt.Sprintf("%s/%s/%s/%s/q%v", plat.Name, model.Name, scen.Name, be.Name, o.Quick)
+	l.mu.Lock()
+	e, ok := l.models[key]
+	if !ok {
+		e = &modelEntry{}
+		l.models[key] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() {
+		e.m, e.err = core.Profile(plat, model, scen, be, core.ProfilerOptions{
+			Reps: reps, HorizonS: ph, Seed: o.Seed,
+		})
+	})
+	return e.m, e.err
+}
+
+// SchemeNames lists the Table V schemes in figure order.
+var SchemeNames = []string{"ALL-AU", "SMT-AU", "RP-AU", "AU-UP", "AU-FI", "AU-RB", "AUM"}
+
+// managerFor builds a fresh manager instance for a scheme (managers are
+// stateful, so each run needs its own).
+func (l *Lab) managerFor(scheme string, plat platform.Platform, model llm.Model, scen trace.Scenario, be workload.Profile, o Options) (colo.Manager, error) {
+	switch scheme {
+	case "ALL-AU":
+		return manager.AllAU{}, nil
+	case "SMT-AU":
+		return manager.SMTAU{}, nil
+	case "RP-AU":
+		return &manager.RPAU{}, nil
+	}
+	m, err := l.Model(plat, model, scen, be, o)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "AUM":
+		return core.NewAUM(m, core.Options{})
+	case "AU-UP":
+		return core.NewAUUP(m, core.Options{})
+	case "AU-FI":
+		return core.NewAUFI(m, core.Options{})
+	case "AU-RB":
+		return core.NewAURB(m, core.Options{})
+	}
+	return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
+}
+
+// RunSpec identifies one cached co-location run.
+type RunSpec struct {
+	Plat       platform.Platform
+	Model      llm.Model
+	Scheme     string
+	Scen       trace.Scenario
+	BE         *workload.Profile // nil = exclusive
+	TrackAlloc bool
+	RatePerS   float64
+}
+
+// Run executes (or returns the cached result of) one co-location run.
+func (l *Lab) Run(spec RunSpec, o Options) (colo.Result, error) {
+	o = o.withDefaults()
+	horizon, _, _ := o.horizons()
+	beName := "none"
+	if spec.BE != nil {
+		beName = spec.BE.Name
+	}
+	key := fmt.Sprintf("%s/%s/%s/%s/%s/%v/%.2f/q%v",
+		spec.Plat.Name, spec.Model.Name, spec.Scheme, spec.Scen.Name, beName, spec.TrackAlloc, spec.RatePerS, o.Quick)
+	l.mu.Lock()
+	e, ok := l.runs[key]
+	if !ok {
+		e = &runEntry{}
+		l.runs[key] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() {
+		mgr, err := l.managerFor(spec.Scheme, spec.Plat, spec.Model, spec.Scen, profileOrDefault(spec.BE), o)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = colo.Run(colo.Config{
+			Plat:       spec.Plat,
+			Model:      spec.Model,
+			Scen:       spec.Scen,
+			BE:         spec.BE,
+			Manager:    mgr,
+			HorizonS:   horizon,
+			Seed:       o.Seed,
+			RatePerS:   spec.RatePerS,
+			TrackAlloc: spec.TrackAlloc,
+		})
+	})
+	return e.res, e.err
+}
+
+// profileOrDefault returns the co-runner profile used for AUV-model
+// lookup; exclusive runs profile against SPECjbb (the model is unused
+// by the static baselines anyway).
+func profileOrDefault(be *workload.Profile) workload.Profile {
+	if be != nil {
+		return *be
+	}
+	return workload.SPECjbb()
+}

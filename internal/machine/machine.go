@@ -1,0 +1,708 @@
+// Package machine simulates one AU-enabled CPU socket: physical cores
+// with SMT threads, frequency regions solved by the power governor, a
+// way-partitioned LLC, and arbitrated memory bandwidth.
+//
+// The machine advances in fixed time steps. Each step it (1) asks every
+// task for its resource demand, (2) solves region frequencies under
+// license caps and the TDP, (3) arbitrates DRAM bandwidth under MBA
+// throttles, and (4) lets every task execute for the step under its
+// final environment, accumulating the cycle-level counters that
+// perfmon later turns into the paper's top-down metrics.
+//
+// The machine is the stand-in for the paper's production Xeons: AUM
+// only ever touches it through placements (cpuset), class-of-service
+// configuration (CAT/MBA), and the statistics it exports (perf).
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aum/internal/cache"
+	"aum/internal/membw"
+	"aum/internal/platform"
+	"aum/internal/power"
+	"aum/internal/topdown"
+)
+
+// Env is the execution environment the machine grants a task for one
+// step.
+type Env struct {
+	Plat         platform.Platform
+	Cores        int     // physical cores allocated
+	GHz          float64 // region frequency
+	ComputeShare float64 // execution-port share (<1 when an SMT sibling is active)
+	LLCMB        float64 // granted LLC capacity
+	L2MB         float64 // granted private-cache capacity
+	BWGBs        float64 // granted DRAM bandwidth
+	LinkUtil     float64 // total link utilization last step (for latency penalties)
+}
+
+// Demand is what a task would consume unconstrained during the next
+// step.
+type Demand struct {
+	Class power.Class
+	Util  float64 // unit utilization (fraction of cycles with execution demand)
+	BWGBs float64 // unconstrained DRAM traffic rate
+}
+
+// Usage reports what a task actually did during a step.
+type Usage struct {
+	Work      float64 // application-defined work units completed
+	Flops     float64
+	AMXFlops  float64
+	AVXFlops  float64
+	DRAMBytes float64
+	Util      float64           // realized unit utilization
+	AMXBusy   float64           // fraction of cycles the AMX unit was busy (tma_amx_busy)
+	AVXBusy   float64           // fraction of cycles the AVX units were busy
+	Breakdown topdown.Breakdown // cycle distribution over the step
+}
+
+// Workload is implemented by every application model that can run on
+// the machine.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Demand returns the unconstrained resource appetite under env.
+	Demand(env Env) Demand
+	// Step executes for dt seconds starting at now under env.
+	Step(env Env, now, dt float64) Usage
+}
+
+// TaskID identifies a task on a machine.
+type TaskID int
+
+// Placement pins a task to a contiguous physical core range, an SMT
+// slot, and a class of service. Contiguous ranges mirror the paper's
+// processor divisions ("0-11", "12-15", "16-23" in Table III).
+type Placement struct {
+	CoreLo, CoreHi int // inclusive physical core range
+	SMTSlot        int // 0 = primary thread, 1 = sibling hyperthread
+	COS            int // class of service index
+}
+
+// Cores returns the number of physical cores in the placement.
+func (p Placement) Cores() int {
+	if p.CoreHi < p.CoreLo {
+		return 0
+	}
+	return p.CoreHi - p.CoreLo + 1
+}
+
+func (p Placement) overlaps(o Placement) bool {
+	return p.Cores() > 0 && o.Cores() > 0 && p.CoreLo <= o.CoreHi && o.CoreLo <= p.CoreHi
+}
+
+func (p Placement) contains(o Placement) bool {
+	return p.CoreLo <= o.CoreLo && o.CoreHi <= p.CoreHi
+}
+
+// TaskStats accumulates a task's activity. All fields are totals since
+// the task was added (or since the last ResetStats).
+type TaskStats struct {
+	TimeS        float64
+	Work         float64
+	Flops        float64
+	AMXFlops     float64
+	AVXFlops     float64
+	DRAMBytes    float64
+	FreqIntegral float64           // integral of region frequency over time (GHz*s)
+	UtilIntegral float64           // integral of realized utilization
+	AMXBusyInt   float64           // integral of the AMX busy fraction
+	AVXBusyInt   float64           // integral of the AVX busy fraction
+	EnergyJ      float64           // attributed core energy (power model at the task's class/util/freq)
+	Breakdown    topdown.Breakdown // dt-weighted; normalize before reading
+}
+
+// MeanWatts returns the task's attributed average core power.
+func (s TaskStats) MeanWatts() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.EnergyJ / s.TimeS
+}
+
+// AMXCycleRatio returns the time-average fraction of cycles with the
+// AMX unit busy — the paper's tma_amx_busy metric (Table II).
+func (s TaskStats) AMXCycleRatio() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.AMXBusyInt / s.TimeS
+}
+
+// AVXCycleRatio returns the time-average AVX busy fraction.
+func (s TaskStats) AVXCycleRatio() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.AVXBusyInt / s.TimeS
+}
+
+// FPAMXRatio returns the fraction of floating-point work retired by the
+// AMX unit — the paper's tma_fp_amx / tma_fp_arith metric.
+func (s TaskStats) FPAMXRatio() float64 {
+	if s.Flops <= 0 {
+		return 0
+	}
+	return s.AMXFlops / s.Flops
+}
+
+// MeanGHz returns the time-average frequency the task ran at.
+func (s TaskStats) MeanGHz() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.FreqIntegral / s.TimeS
+}
+
+// MeanUtil returns the time-average realized utilization.
+func (s TaskStats) MeanUtil() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.UtilIntegral / s.TimeS
+}
+
+// WorkRate returns work units per second.
+func (s TaskStats) WorkRate() float64 {
+	if s.TimeS <= 0 {
+		return 0
+	}
+	return s.Work / s.TimeS
+}
+
+// NormalizedBreakdown returns the task's top-down breakdown normalized
+// to fractions.
+func (s TaskStats) NormalizedBreakdown() topdown.Breakdown {
+	b := s.Breakdown
+	b.Normalize()
+	return b
+}
+
+// Sub returns the difference s - prev, used by controllers to measure
+// one control interval.
+func (s TaskStats) Sub(prev TaskStats) TaskStats {
+	d := s
+	d.TimeS -= prev.TimeS
+	d.Work -= prev.Work
+	d.Flops -= prev.Flops
+	d.AMXFlops -= prev.AMXFlops
+	d.AVXFlops -= prev.AVXFlops
+	d.DRAMBytes -= prev.DRAMBytes
+	d.FreqIntegral -= prev.FreqIntegral
+	d.UtilIntegral -= prev.UtilIntegral
+	d.AMXBusyInt -= prev.AMXBusyInt
+	d.AVXBusyInt -= prev.AVXBusyInt
+	d.EnergyJ -= prev.EnergyJ
+	var b topdown.Breakdown
+	b.Weighted(s.Breakdown, 1)
+	b.Weighted(prev.Breakdown, -1)
+	d.Breakdown = b
+	return d
+}
+
+// COSConfig is one class of service: an LLC way mask and an MBA
+// throttle, the two RDT knobs of Table III.
+type COSConfig struct {
+	Ways    cache.Mask
+	MBAFrac float64 // fraction of link bandwidth this class may use
+}
+
+// Sample is the per-step telemetry record consumed by perfmon.
+type Sample struct {
+	Now          float64
+	PackageWatts float64
+	Throttled    bool
+	Hotspot      bool
+	TaskFreqGHz  map[TaskID]float64
+	LinkUtil     float64
+}
+
+type task struct {
+	id    TaskID
+	wl    Workload
+	place Placement
+	stats TaskStats
+}
+
+// Machine is one simulated socket.
+type Machine struct {
+	plat platform.Platform
+	gov  *power.Governor
+
+	now     float64
+	nextID  TaskID
+	tasks   []*task
+	cos     []COSConfig
+	energyJ float64
+
+	lastWatts    float64
+	lastLinkUtil float64
+	sampler      func(Sample)
+}
+
+// NumCOS is the number of classes of service, matching RDT's common
+// configuration.
+const NumCOS = 8
+
+// New returns a machine for the platform with all classes of service
+// initially unrestricted.
+func New(p platform.Platform) *Machine {
+	m := &Machine{
+		plat: p,
+		gov:  power.NewGovernor(p),
+		cos:  make([]COSConfig, NumCOS),
+	}
+	for i := range m.cos {
+		m.cos[i] = COSConfig{Ways: cache.Mask{Lo: 0, Hi: p.LLC.Ways - 1}, MBAFrac: 1}
+	}
+	return m
+}
+
+// Platform returns the machine's hardware description.
+func (m *Machine) Platform() platform.Platform { return m.plat }
+
+// Now returns the simulation time in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// EnergyJ returns total package energy consumed so far.
+func (m *Machine) EnergyJ() float64 { return m.energyJ }
+
+// LastWatts returns the package power of the most recent step.
+func (m *Machine) LastWatts() float64 { return m.lastWatts }
+
+// OnSample registers a telemetry callback invoked after every step.
+func (m *Machine) OnSample(fn func(Sample)) { m.sampler = fn }
+
+// AddTask places a workload on the machine.
+func (m *Machine) AddTask(wl Workload, p Placement) (TaskID, error) {
+	if err := m.validate(p, -1); err != nil {
+		return 0, err
+	}
+	m.nextID++
+	t := &task{id: m.nextID, wl: wl, place: p}
+	m.tasks = append(m.tasks, t)
+	return t.id, nil
+}
+
+// RemoveTask removes a task; its accumulated stats are discarded.
+func (m *Machine) RemoveTask(id TaskID) {
+	for i, t := range m.tasks {
+		if t.id == id {
+			m.tasks = append(m.tasks[:i], m.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetPlacement moves a task (the cpuset knob).
+func (m *Machine) SetPlacement(id TaskID, p Placement) error {
+	t := m.find(id)
+	if t == nil {
+		return fmt.Errorf("machine: no task %d", id)
+	}
+	if err := m.validate(p, id); err != nil {
+		return err
+	}
+	t.place = p
+	return nil
+}
+
+// SetPlacements moves several tasks atomically, validating only the
+// final layout. Use it for processor-division switches, where the new
+// regions transiently overlap the old ones.
+func (m *Machine) SetPlacements(moves map[TaskID]Placement) error {
+	old := make(map[TaskID]Placement, len(moves))
+	for id, p := range moves {
+		t := m.find(id)
+		if t == nil {
+			return fmt.Errorf("machine: no task %d", id)
+		}
+		old[id] = t.place
+		t.place = p
+	}
+	rollback := func() {
+		for id, p := range old {
+			m.find(id).place = p
+		}
+	}
+	for _, t := range m.tasks {
+		if err := m.validate(t.place, t.id); err != nil {
+			rollback()
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement returns a task's current placement.
+func (m *Machine) Placement(id TaskID) (Placement, bool) {
+	if t := m.find(id); t != nil {
+		return t.place, true
+	}
+	return Placement{}, false
+}
+
+// SetCOS configures a class of service (the CAT/MBA knobs).
+func (m *Machine) SetCOS(idx int, cfg COSConfig) error {
+	if idx < 0 || idx >= len(m.cos) {
+		return fmt.Errorf("machine: COS %d out of range", idx)
+	}
+	if cfg.Ways.Count() <= 0 || cfg.Ways.Lo < 0 || cfg.Ways.Hi >= m.plat.LLC.Ways {
+		return fmt.Errorf("machine: invalid way mask %v for %d-way LLC", cfg.Ways, m.plat.LLC.Ways)
+	}
+	if cfg.MBAFrac <= 0 || cfg.MBAFrac > 1 {
+		return fmt.Errorf("machine: MBA fraction %.2f out of (0,1]", cfg.MBAFrac)
+	}
+	m.cos[idx] = cfg
+	return nil
+}
+
+// COS returns the configuration of a class of service.
+func (m *Machine) COS(idx int) (COSConfig, bool) {
+	if idx < 0 || idx >= len(m.cos) {
+		return COSConfig{}, false
+	}
+	return m.cos[idx], true
+}
+
+// Stats returns a copy of a task's accumulated statistics.
+func (m *Machine) Stats(id TaskID) (TaskStats, bool) {
+	if t := m.find(id); t != nil {
+		return t.stats, true
+	}
+	return TaskStats{}, false
+}
+
+// ResetStats zeroes a task's accumulated statistics.
+func (m *Machine) ResetStats(id TaskID) {
+	if t := m.find(id); t != nil {
+		t.stats = TaskStats{}
+	}
+}
+
+func (m *Machine) find(id TaskID) *task {
+	for _, t := range m.tasks {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// validate checks a placement against the platform and existing tasks.
+// Slot-0 ranges must not overlap each other; a slot-1 range must sit
+// inside exactly one slot-0 range (a hyperthread needs a primary).
+func (m *Machine) validate(p Placement, self TaskID) error {
+	if p.Cores() <= 0 {
+		return fmt.Errorf("machine: empty core range [%d,%d]", p.CoreLo, p.CoreHi)
+	}
+	if p.CoreLo < 0 || p.CoreHi >= m.plat.Cores {
+		return fmt.Errorf("machine: core range [%d,%d] outside 0..%d", p.CoreLo, p.CoreHi, m.plat.Cores-1)
+	}
+	if p.SMTSlot < 0 || p.SMTSlot >= m.plat.SMTWays {
+		return fmt.Errorf("machine: SMT slot %d on %d-way SMT", p.SMTSlot, m.plat.SMTWays)
+	}
+	if p.COS < 0 || p.COS >= len(m.cos) {
+		return fmt.Errorf("machine: COS %d out of range", p.COS)
+	}
+	for _, t := range m.tasks {
+		if t.id == self {
+			continue
+		}
+		if t.place.SMTSlot == p.SMTSlot && t.place.overlaps(p) {
+			return fmt.Errorf("machine: placement [%d,%d] slot %d overlaps task %q",
+				p.CoreLo, p.CoreHi, p.SMTSlot, t.wl.Name())
+		}
+	}
+	if p.SMTSlot > 0 {
+		// Every core of a sibling placement needs a primary thread:
+		// the union of slot-0 ranges must cover it.
+		for c := p.CoreLo; c <= p.CoreHi; c++ {
+			covered := false
+			for _, t := range m.tasks {
+				if t.id == self || t.place.SMTSlot != 0 {
+					continue
+				}
+				if t.place.CoreLo <= c && c <= t.place.CoreHi {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("machine: sibling core %d has no primary task", c)
+			}
+		}
+	}
+	return nil
+}
+
+// SMT execution-port interference coefficients, by the *victim's* own
+// activity class: a thread whose sibling is fully active loses
+// ~1/(1+c) of its issue throughput. AMX-heavy work barely contends —
+// the TMUL grid is a dedicated unit a scalar sibling cannot occupy —
+// while scalar work shares everything. Cache and bandwidth contention
+// are modelled separately through the allocation paths.
+func smtContention(victim power.Class) float64 {
+	switch victim {
+	case power.AMXHeavy:
+		return 0.15
+	case power.AVXHeavy:
+		return 0.35
+	default:
+		return 0.55
+	}
+}
+
+// Step advances the simulation by dt seconds.
+func (m *Machine) Step(dt float64) {
+	if dt <= 0 {
+		panic("machine: non-positive dt")
+	}
+	n := len(m.tasks)
+	if n == 0 {
+		m.lastWatts = m.plat.UncoreWatts + float64(m.plat.Cores)*m.plat.IdleCoreW
+		m.energyJ += m.lastWatts * dt
+		m.now += dt
+		return
+	}
+
+	// Stable order for determinism.
+	sort.Slice(m.tasks, func(i, j int) bool { return m.tasks[i].id < m.tasks[j].id })
+
+	// Pass 1: provisional environments for demand estimation. Use the
+	// class-license frequency and the full COS bandwidth cap.
+	envs := make([]Env, n)
+	demands := make([]Demand, n)
+	llcPart := cache.Partition{TotalMB: m.plat.TotalLLCMB(), Ways: m.plat.LLC.Ways}
+	for i, t := range m.tasks {
+		envs[i] = m.baseEnv(t, llcPart)
+		demands[i] = t.wl.Demand(envs[i])
+	}
+
+	// Frequency regions: one per slot-0 task; siblings merge in.
+	type region struct {
+		primary int // index into m.tasks
+		class   power.Class
+		util    float64
+	}
+	regions := make([]region, 0, n)
+	regionOf := make([]int, n)
+	for i := range regionOf {
+		regionOf[i] = -1
+	}
+	for i, t := range m.tasks {
+		if t.place.SMTSlot != 0 {
+			continue
+		}
+		regionOf[i] = len(regions)
+		regions = append(regions, region{primary: i, class: demands[i].Class, util: demands[i].Util})
+	}
+	for i, t := range m.tasks {
+		if t.place.SMTSlot == 0 {
+			continue
+		}
+		best, bestOverlap := -1, 0
+		for j, r := range regions {
+			rp := m.tasks[r.primary].place
+			if !rp.overlaps(t.place) {
+				continue
+			}
+			lo := max(rp.CoreLo, t.place.CoreLo)
+			hi := min(rp.CoreHi, t.place.CoreHi)
+			overlap := hi - lo + 1
+			// Combined utilization raises core power on the shared
+			// fraction of the region's cores.
+			if demands[i].Class > regions[j].class {
+				regions[j].class = demands[i].Class
+			}
+			cover := float64(overlap) / float64(rp.Cores())
+			regions[j].util = math.Min(1.6, regions[j].util+demands[i].Util*cover)
+			if overlap > bestOverlap {
+				best, bestOverlap = j, overlap
+			}
+		}
+		// The sibling runs at the frequency of the region hosting most
+		// of its cores.
+		regionOf[i] = best
+	}
+	loads := make([]power.RegionLoad, len(regions))
+	for j, r := range regions {
+		loads[j] = power.RegionLoad{
+			Cores: m.tasks[r.primary].place.Cores(),
+			Class: r.class,
+			Util:  r.util,
+		}
+	}
+	sol := m.gov.Solve(loads, dt)
+
+	// Bandwidth: two-level weighted max-min arbitration — across
+	// classes of service (weights: core counts, caps: MBA throttles),
+	// then across the tasks within each class (weights: core counts).
+	cosCores := make([]int, len(m.cos))
+	for _, t := range m.tasks {
+		cosCores[t.place.COS] += t.place.Cores()
+	}
+	cosDemand := make([]float64, len(m.cos))
+	cosWeight := make([]float64, len(m.cos))
+	cosCap := make([]float64, len(m.cos))
+	for i := range m.tasks {
+		c := m.tasks[i].place.COS
+		cosDemand[c] += demands[i].BWGBs
+	}
+	for c := range m.cos {
+		cosWeight[c] = float64(cosCores[c])
+		cosCap[c] = m.cos[c].MBAFrac * m.plat.MemBWGBs
+	}
+	cosGrants := membw.MaxMin(m.plat.MemBWGBs, cosDemand, cosWeight, cosCap)
+	// Within each class, allot across its tasks.
+	taskGrant := make([]float64, n)
+	for c := range m.cos {
+		var idx []int
+		var dem, wts []float64
+		for i, t := range m.tasks {
+			if t.place.COS != c {
+				continue
+			}
+			idx = append(idx, i)
+			dem = append(dem, demands[i].BWGBs)
+			wts = append(wts, float64(t.place.Cores()))
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		g := membw.MaxMin(cosGrants[c], dem, wts, nil)
+		for k, i := range idx {
+			taskGrant[i] = g[k]
+		}
+	}
+	linkUsed := 0.0
+	for _, g := range taskGrant {
+		linkUsed += g
+	}
+	linkUtil := linkUsed / m.plat.MemBWGBs
+
+	// Pass 2: final environments and execution.
+	for i, t := range m.tasks {
+		env := envs[i]
+		if regionOf[i] >= 0 {
+			env.GHz = sol.FreqGHz[regionOf[i]]
+		}
+		// Bandwidth share within COS.
+		c := t.place.COS
+		env.BWGBs = taskGrant[i]
+		// Guarantee a trickle so zero-demand estimates don't deadlock
+		// workloads whose demand appears after execution begins.
+		if env.BWGBs < 0.1 {
+			env.BWGBs = 0.1
+		}
+		// LLC share within COS.
+		if cosCores[c] > 0 {
+			env.LLCMB = llcPart.WaysMB(m.cos[c].Ways.Count()) * float64(t.place.Cores()) / float64(cosCores[c])
+		}
+		// SMT compute share.
+		env.ComputeShare = m.computeShare(i, demands)
+		env.LinkUtil = linkUtil
+
+		u := t.wl.Step(env, m.now, dt)
+		st := &t.stats
+		st.TimeS += dt
+		st.Work += u.Work
+		st.Flops += u.Flops
+		st.AMXFlops += u.AMXFlops
+		st.AVXFlops += u.AVXFlops
+		st.DRAMBytes += u.DRAMBytes
+		st.FreqIntegral += env.GHz * dt
+		st.UtilIntegral += u.Util * dt
+		st.AMXBusyInt += u.AMXBusy * dt
+		st.AVXBusyInt += u.AVXBusy * dt
+		st.EnergyJ += float64(t.place.Cores()) *
+			power.CoreWatts(m.plat, demands[i].Class, u.Util, env.GHz) * dt
+		st.Breakdown.Weighted(u.Breakdown, dt)
+	}
+
+	m.lastWatts = sol.PackageWatts
+	m.lastLinkUtil = linkUtil
+	m.energyJ += sol.PackageWatts * dt
+	m.now += dt
+
+	if m.sampler != nil {
+		s := Sample{
+			Now:          m.now,
+			PackageWatts: sol.PackageWatts,
+			Throttled:    sol.Throttled,
+			Hotspot:      sol.Hotspot,
+			LinkUtil:     linkUtil,
+			TaskFreqGHz:  make(map[TaskID]float64, n),
+		}
+		for i, t := range m.tasks {
+			if regionOf[i] >= 0 {
+				s.TaskFreqGHz[t.id] = sol.FreqGHz[regionOf[i]]
+			}
+		}
+		m.sampler(s)
+	}
+}
+
+// baseEnv builds the demand-estimation environment for a task.
+func (m *Machine) baseEnv(t *task, llcPart cache.Partition) Env {
+	cosCfg := m.cos[t.place.COS]
+	class := power.Scalar
+	// Demand estimation uses the scalar license as the optimistic
+	// frequency; the governor refines it.
+	_ = class
+	l2 := float64(m.plat.L2.SizeKB) / 1024 * float64(t.place.Cores())
+	if m.hasSibling(t) {
+		l2 /= 2
+	}
+	return Env{
+		Plat:         m.plat,
+		Cores:        t.place.Cores(),
+		GHz:          power.LicenseCap(m.plat, power.Scalar),
+		ComputeShare: 1,
+		LLCMB:        llcPart.WaysMB(cosCfg.Ways.Count()),
+		L2MB:         l2,
+		BWGBs:        cosCfg.MBAFrac * m.plat.MemBWGBs,
+	}
+}
+
+// hasSibling reports whether any task occupies the other SMT slot of
+// t's cores.
+func (m *Machine) hasSibling(t *task) bool {
+	for _, o := range m.tasks {
+		if o.id == t.id || o.place.SMTSlot == t.place.SMTSlot {
+			continue
+		}
+		if o.place.overlaps(t.place) {
+			return true
+		}
+	}
+	return false
+}
+
+// computeShare returns the execution-port share of task i given all
+// demands: 1 when alone on its cores, reduced by an active sibling.
+func (m *Machine) computeShare(i int, demands []Demand) float64 {
+	t := m.tasks[i]
+	partnerUtil := 0.0
+	for j, o := range m.tasks {
+		if j == i || o.place.SMTSlot == t.place.SMTSlot {
+			continue
+		}
+		if o.place.overlaps(t.place) {
+			// Weight by how much of t's range the sibling covers.
+			lo := math.Max(float64(t.place.CoreLo), float64(o.place.CoreLo))
+			hi := math.Min(float64(t.place.CoreHi), float64(o.place.CoreHi))
+			cover := (hi - lo + 1) / float64(t.place.Cores())
+			partnerUtil += demands[j].Util * cover
+		}
+	}
+	if partnerUtil <= 0 {
+		return 1
+	}
+	c := smtContention(demands[i].Class)
+	return 1 / (1 + c*math.Min(partnerUtil, 1.25))
+}

@@ -1,0 +1,156 @@
+package manager
+
+import (
+	"aum/internal/colo"
+	"aum/internal/machine"
+	"aum/internal/rdt"
+)
+
+// Default phase split for static managers: a third of the cores prefill
+// (compute-heavy, frequency-throttled) and the rest decode
+// (bandwidth-bound). The AU-aware managers move these boundaries; the
+// oblivious ones cannot.
+// Prefill is compute-bound and gets the larger share; decode is
+// bandwidth-bound and saturates on a small region.
+const (
+	staticPrefillFrac  = 0.60
+	staticDecodeFracX  = 0.40 // exclusive: LLM takes everything
+	staticPrefillFracP = 0.44 // partitioned: a reasonable but fixed split
+	staticDecodeFracP  = 0.26
+)
+
+// AllAU is the AU-exclusive baseline: the whole processor serves the
+// LLM; any configured co-runner is simply not scheduled (zero sharing
+// performance, as in Figure 16).
+type AllAU struct{}
+
+// Name implements colo.Manager.
+func (AllAU) Name() string { return "ALL-AU" }
+
+// Interval implements colo.Manager.
+func (AllAU) Interval() float64 { return 0 }
+
+// Tick implements colo.Manager.
+func (AllAU) Tick(*colo.Env, float64) error { return nil }
+
+// Setup implements colo.Manager.
+func (AllAU) Setup(e *colo.Env) error {
+	s := NewSplit(e.Plat.Cores, staticPrefillFrac, staticDecodeFracX)
+	// Decode absorbs the remainder: exclusive usage leaves no shared
+	// region.
+	s.LoHi = e.Plat.Cores - 1
+	return PlaceLLM(e, s, COSLLM, COSLLM)
+}
+
+// SMTAU is the AUV-oblivious SMT-sharing baseline (Holmes-style): the
+// LLM keeps all physical cores and the co-runner rides the sibling
+// hyperthreads, with no resource partitioning at all.
+type SMTAU struct{}
+
+// Name implements colo.Manager.
+func (SMTAU) Name() string { return "SMT-AU" }
+
+// Interval implements colo.Manager.
+func (SMTAU) Interval() float64 { return 0 }
+
+// Tick implements colo.Manager.
+func (SMTAU) Tick(*colo.Env, float64) error { return nil }
+
+// Setup implements colo.Manager.
+func (SMTAU) Setup(e *colo.Env) error {
+	s := NewSplit(e.Plat.Cores, staticPrefillFrac, staticDecodeFracX)
+	s.LoHi = e.Plat.Cores - 1
+	if err := PlaceLLM(e, s, COSLLM, COSLLM); err != nil {
+		return err
+	}
+	// Same class of service: SMT sharing has no RDT isolation.
+	return e.AddBE(machine.Placement{CoreLo: 0, CoreHi: e.Plat.Cores - 1, SMTSlot: 1, COS: COSLLM})
+}
+
+// RPAU is the AUV-oblivious resource-partitioning baseline
+// (PARTIES-style): a static core partition plus feedback-driven CAT/MBA
+// adjustment in a fixed, software-preference resource order. It knows
+// nothing about AU usage levels, license frequencies, or AU resource
+// affinities.
+type RPAU struct {
+	// step is the current harvest level: 0 = co-runner minimal.
+	step int
+}
+
+// Name implements colo.Manager.
+func (*RPAU) Name() string { return "RP-AU" }
+
+// Interval implements colo.Manager.
+func (*RPAU) Interval() float64 { return 0.05 }
+
+// rpMaxStep bounds the feedback ladder: each step moves one LLC way or
+// one MBA notch from the LLM to the co-runner.
+const rpMaxStep = 12
+
+// Setup implements colo.Manager.
+func (r *RPAU) Setup(e *colo.Env) error {
+	s := NewSplit(e.Plat.Cores, staticPrefillFracP, staticDecodeFracP)
+	if err := PlaceLLM(e, s, COSLLM, COSLLM); err != nil {
+		return err
+	}
+	if e.HasBE() && s.SharedCores() > 0 {
+		if err := e.AddBE(machine.Placement{CoreLo: s.NoLo, CoreHi: s.NoHi, SMTSlot: 0, COS: COSBE}); err != nil {
+			return err
+		}
+	}
+	r.step = 4
+	return r.apply(e)
+}
+
+// apply maps the feedback step onto CAT/MBA: the co-runner starts from
+// 2 ways / 10% MBA and gains one way per step, then bandwidth.
+func (r *RPAU) apply(e *colo.Env) error {
+	ways := e.Plat.LLC.Ways
+	beWays := 2 + r.step/2
+	if beWays > ways-2 {
+		beWays = ways - 2
+	}
+	beMBA := 10 + (r.step+1)/2*10
+	if beMBA > 100 {
+		beMBA = 100
+	}
+	if err := e.RDT.AllocateWays(COSLLM, 0, ways-1-beWays); err != nil {
+		return err
+	}
+	if err := e.RDT.AllocateWays(COSBE, ways-beWays, ways-1); err != nil {
+		return err
+	}
+	if err := e.RDT.SetMBA(COSBE, beMBA); err != nil {
+		return err
+	}
+	return e.RDT.SetMBA(COSLLM, 100)
+}
+
+// Tick implements colo.Manager: PARTIES-style feedback — violate the
+// SLO and the co-runner loses a step; comfortable slack and it gains
+// one.
+func (r *RPAU) Tick(e *colo.Env, now float64) error {
+	if !e.HasBE() {
+		return nil
+	}
+	st := e.Engine.Stats()
+	tail := st.TailTPOT(90)
+	slo := e.Scen.SLO.TPOT
+	switch {
+	case tail > slo && r.step > 0:
+		r.step--
+	case tail < 0.8*slo && r.step < rpMaxStep:
+		r.step++
+	default:
+		return nil
+	}
+	return r.apply(e)
+}
+
+// Compile-time interface checks.
+var (
+	_ colo.Manager = AllAU{}
+	_ colo.Manager = SMTAU{}
+	_ colo.Manager = (*RPAU)(nil)
+	_              = rdt.MBAStep
+)

@@ -1,0 +1,72 @@
+// Package manager implements the baseline resource managers of
+// Table V: the AU-exclusive scheme (ALL-AU), the AUV-oblivious sharing
+// schemes (SMT-AU, RP-AU), and the single-dimension AU-aware ablations
+// (AU-UP, AU-FI, AU-RB). The full three-dimensional manager lives in
+// internal/core.
+package manager
+
+import (
+	"aum/internal/colo"
+	"aum/internal/machine"
+)
+
+// Class-of-service assignments shared by all managers.
+const (
+	COSLLM = 0 // both LLM phases (split further by AUM)
+	COSBE  = 1 // the best-effort co-runner
+	// COSPrefill/COSDecode give the phases separate classes for
+	// managers that partition them individually.
+	COSPrefill = 2
+	COSDecode  = 3
+)
+
+// Split divides the machine's physical cores into three contiguous
+// regions sized by the given fractions of the total: high-AU (prefill),
+// low-AU (decode), and none-AU (shared). Each non-zero fraction yields
+// at least one core; the none region absorbs rounding.
+type Split struct {
+	HiLo, HiHi int // prefill region [HiLo, HiHi]
+	LoLo, LoHi int // decode region
+	NoLo, NoHi int // shared region; NoHi < NoLo when empty
+}
+
+// NewSplit computes a split of total cores with the prefill and decode
+// fractions fH and fL (the remainder goes to the shared region).
+func NewSplit(total int, fH, fL float64) Split {
+	h := int(float64(total)*fH + 0.5)
+	l := int(float64(total)*fL + 0.5)
+	if h < 1 {
+		h = 1
+	}
+	if l < 1 {
+		l = 1
+	}
+	if h+l > total {
+		l = total - h
+		if l < 1 {
+			l = 1
+			h = total - 1
+		}
+	}
+	return Split{
+		HiLo: 0, HiHi: h - 1,
+		LoLo: h, LoHi: h + l - 1,
+		NoLo: h + l, NoHi: total - 1,
+	}
+}
+
+// SharedCores returns the size of the none-AU region.
+func (s Split) SharedCores() int {
+	if s.NoHi < s.NoLo {
+		return 0
+	}
+	return s.NoHi - s.NoLo + 1
+}
+
+// PlaceLLM adds the two LLM workers on the split's AU regions.
+func PlaceLLM(e *colo.Env, s Split, prefCOS, decCOS int) error {
+	return e.AddLLM(
+		machine.Placement{CoreLo: s.HiLo, CoreHi: s.HiHi, SMTSlot: 0, COS: prefCOS},
+		machine.Placement{CoreLo: s.LoLo, CoreHi: s.LoHi, SMTSlot: 0, COS: decCOS},
+	)
+}

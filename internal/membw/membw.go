@@ -1,0 +1,155 @@
+// Package membw arbitrates socket memory bandwidth among classes of
+// service, modelling both the natural contention of the memory
+// controller and the MBA throttling knob AUM tunes (Table III's R_BW
+// column).
+//
+// The arbitration is proportional-share: each demand is first clamped
+// by its MBA cap, then, if the link is oversubscribed, all clamped
+// demands are scaled by the same factor. This matches the observed
+// behaviour of MBA, which is a per-class request-rate throttle rather
+// than a hard reservation.
+package membw
+
+// Demand is one class's unconstrained bandwidth appetite and its MBA
+// cap, both relative to the same link.
+type Demand struct {
+	GBs     float64 // unconstrained traffic rate
+	CapFrac float64 // MBA throttle as a fraction of the link (0..1]
+}
+
+// Arbitrate distributes linkGBs among the demands and returns the
+// granted bandwidth per class in the same order. Grants never exceed
+// the clamped demand and sum to at most linkGBs.
+func Arbitrate(linkGBs float64, demands []Demand) []float64 {
+	grants := make([]float64, len(demands))
+	if linkGBs <= 0 {
+		return grants
+	}
+	total := 0.0
+	for i, d := range demands {
+		want := d.GBs
+		if want < 0 {
+			want = 0
+		}
+		capGBs := d.CapFrac * linkGBs
+		if d.CapFrac <= 0 {
+			capGBs = linkGBs // no throttle configured
+		}
+		if want > capGBs {
+			want = capGBs
+		}
+		grants[i] = want
+		total += want
+	}
+	if total <= linkGBs {
+		return grants
+	}
+	scale := linkGBs / total
+	for i := range grants {
+		grants[i] *= scale
+	}
+	return grants
+}
+
+// MaxMin allocates link capacity by weighted max-min fairness with
+// per-class caps: every class is entitled to a share of the remaining
+// link proportional to its weight; classes that want less than their
+// entitlement are satisfied exactly, and their leftover is
+// redistributed. This models a fair memory controller: a class cannot
+// be starved below its weighted share by another class's outsized
+// appetite, but unused capacity flows to whoever can use it.
+//
+// demands, weights, and caps must have equal length; caps <= 0 mean
+// uncapped. The returned grants sum to at most linkGBs.
+func MaxMin(linkGBs float64, demands, weights, caps []float64) []float64 {
+	n := len(demands)
+	grants := make([]float64, n)
+	if linkGBs <= 0 || n == 0 {
+		return grants
+	}
+	// Normalize weights so their sum cannot overflow and shares stay
+	// finite for arbitrary caller-provided magnitudes.
+	maxW := 1.0
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	wOf := func(i int) float64 {
+		if i < len(weights) && weights[i] > 0 {
+			return weights[i] / maxW
+		}
+		return 1 / maxW
+	}
+	want := make([]float64, n)
+	active := make([]bool, n)
+	remaining := linkGBs
+	activeWeight := 0.0
+	for i := range demands {
+		want[i] = demands[i]
+		if want[i] < 0 {
+			want[i] = 0
+		}
+		if i < len(caps) && caps[i] > 0 && want[i] > caps[i] {
+			want[i] = caps[i]
+		}
+		if want[i] > 0 {
+			active[i] = true
+			activeWeight += wOf(i)
+		}
+	}
+	for iter := 0; iter < n+1; iter++ {
+		if remaining <= 0 || activeWeight <= 0 {
+			break
+		}
+		progressed := false
+		// Satisfy every active class whose residual want fits within
+		// its weighted share of the remaining capacity.
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			w := wOf(i)
+			share := remaining * (w / activeWeight)
+			if want[i]-grants[i] <= share+1e-12 {
+				delta := want[i] - grants[i]
+				grants[i] = want[i]
+				remaining -= delta
+				activeWeight -= w
+				active[i] = false
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Everyone wants more than their share: divide the rest by
+			// weight and stop.
+			for i := 0; i < n; i++ {
+				if !active[i] {
+					continue
+				}
+				grants[i] += remaining * (wOf(i) / activeWeight)
+			}
+			break
+		}
+	}
+	return grants
+}
+
+// QueuePenalty returns a latency multiplier for memory-sensitive work
+// given link utilization: a convex M/M/1-style penalty that stays near
+// 1 below ~70% utilization and grows steeply as the link saturates.
+// The machine model applies it to latency-bound (not bandwidth-bound)
+// memory stalls.
+// With weighted max-min arbitration in place, a saturated link cannot
+// starve a class of bandwidth, so the residual latency effect is
+// bounded: the clamp at 0.92 caps the penalty at ~2.3x.
+func QueuePenalty(utilization float64) float64 {
+	if utilization <= 0 {
+		return 1
+	}
+	if utilization >= 0.92 {
+		utilization = 0.92
+	}
+	// Normalized so the penalty is exactly 1 at zero load.
+	return 1 + 0.2*utilization/(1-utilization)
+}

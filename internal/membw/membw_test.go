@@ -1,0 +1,129 @@
+package membw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArbitrateUnderSubscribed(t *testing.T) {
+	g := Arbitrate(100, []Demand{{GBs: 20, CapFrac: 1}, {GBs: 30, CapFrac: 1}})
+	if g[0] != 20 || g[1] != 30 {
+		t.Fatalf("undersubscribed demands not fully granted: %v", g)
+	}
+}
+
+func TestArbitrateCaps(t *testing.T) {
+	g := Arbitrate(100, []Demand{{GBs: 80, CapFrac: 0.3}, {GBs: 10, CapFrac: 1}})
+	if g[0] != 30 {
+		t.Fatalf("MBA cap not applied: %v", g[0])
+	}
+}
+
+func TestArbitrateOversubscribedScales(t *testing.T) {
+	g := Arbitrate(100, []Demand{{GBs: 150, CapFrac: 1}, {GBs: 150, CapFrac: 1}})
+	if math.Abs(g[0]-50) > 1e-9 || math.Abs(g[1]-50) > 1e-9 {
+		t.Fatalf("oversubscribed grants = %v, want 50/50", g)
+	}
+}
+
+func TestMaxMinFairShare(t *testing.T) {
+	// Two insatiable classes with equal weights split the link evenly.
+	g := MaxMin(100, []float64{1000, 1000}, []float64{1, 1}, nil)
+	if math.Abs(g[0]-50) > 1e-9 || math.Abs(g[1]-50) > 1e-9 {
+		t.Fatalf("equal-weight max-min = %v, want 50/50", g)
+	}
+}
+
+func TestMaxMinWeighted(t *testing.T) {
+	g := MaxMin(90, []float64{1000, 1000}, []float64{2, 1}, nil)
+	if math.Abs(g[0]-60) > 1e-9 || math.Abs(g[1]-30) > 1e-9 {
+		t.Fatalf("weighted max-min = %v, want 60/30", g)
+	}
+}
+
+func TestMaxMinRedistribution(t *testing.T) {
+	// A small demand is satisfied exactly; its leftover flows to the
+	// insatiable class (this is the property that keeps prefill from
+	// being starved by decode's appetite).
+	g := MaxMin(100, []float64{10, 1000}, []float64{1, 1}, nil)
+	if g[0] != 10 {
+		t.Fatalf("small demand got %v, want exactly 10", g[0])
+	}
+	if math.Abs(g[1]-90) > 1e-9 {
+		t.Fatalf("leftover not redistributed: %v", g[1])
+	}
+}
+
+func TestMaxMinCaps(t *testing.T) {
+	g := MaxMin(100, []float64{1000, 1000}, []float64{1, 1}, []float64{20, 0})
+	if g[0] != 20 {
+		t.Fatalf("cap ignored: %v", g[0])
+	}
+	if math.Abs(g[1]-80) > 1e-9 {
+		t.Fatalf("capped leftover not redistributed: %v", g[1])
+	}
+}
+
+func TestMaxMinProperties(t *testing.T) {
+	f := func(link float64, d0, d1, d2, w0, w1, w2 float64) bool {
+		abs := func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		link = 1 + abs(link)
+		for link > 1e6 {
+			link /= 1e3
+		}
+		dem := []float64{abs(d0), abs(d1), abs(d2)}
+		for i := range dem {
+			for dem[i] > 1e9 {
+				dem[i] /= 1e3
+			}
+		}
+		wts := []float64{abs(w0) + 0.1, abs(w1) + 0.1, abs(w2) + 0.1}
+		g := MaxMin(link, dem, wts, nil)
+		sum := 0.0
+		for i := range g {
+			if g[i] < -1e-9 || g[i] > dem[i]*(1+1e-9)+1e-9 {
+				return false // grants within [0, demand]
+			}
+			sum += g[i]
+		}
+		return sum <= link*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinWorkConserving(t *testing.T) {
+	// When total demand exceeds the link, the full link is handed out.
+	g := MaxMin(100, []float64{70, 70, 70}, []float64{1, 1, 1}, nil)
+	sum := g[0] + g[1] + g[2]
+	if math.Abs(sum-100) > 1e-6 {
+		t.Fatalf("not work-conserving: granted %v of 100", sum)
+	}
+}
+
+func TestQueuePenalty(t *testing.T) {
+	if QueuePenalty(0) != 1 {
+		t.Fatal("penalty at zero load != 1")
+	}
+	prev := 1.0
+	for u := 0.1; u <= 1.0; u += 0.1 {
+		p := QueuePenalty(u)
+		if p < prev {
+			t.Fatalf("penalty not monotone at %v", u)
+		}
+		prev = p
+	}
+	if QueuePenalty(0.99) != QueuePenalty(5) {
+		t.Fatal("penalty not clamped at saturation")
+	}
+	if QueuePenalty(0.99) > 4 {
+		t.Fatalf("penalty unbounded: %v", QueuePenalty(0.99))
+	}
+}

@@ -1,0 +1,205 @@
+// Package perfmon turns the machine's raw statistics into the
+// characterization metrics the paper reports: turbostat-style frequency
+// traces (Figure 6), top-down cycle distributions (Figure 7), backend
+// decompositions (Figure 8), and the per-model usage metrics of
+// Table II (tma_amx_busy, fp_amx ratio, backend bound, dram bound).
+package perfmon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aum/internal/machine"
+	"aum/internal/topdown"
+)
+
+// FreqSample is one turbostat-style observation of a task's frequency.
+type FreqSample struct {
+	Now float64
+	GHz float64
+}
+
+// Monitor collects per-step telemetry from a machine. Register it with
+// machine.OnSample before stepping.
+type Monitor struct {
+	mu       sync.Mutex
+	freq     map[machine.TaskID][]FreqSample
+	watts    []FreqSample // reuse the pair type: GHz field holds watts
+	linkUtil []FreqSample // GHz field holds utilization
+	maxKeep  int
+}
+
+// NewMonitor returns a monitor keeping at most keep samples per series
+// (0 means unbounded).
+func NewMonitor(keep int) *Monitor {
+	return &Monitor{freq: make(map[machine.TaskID][]FreqSample), maxKeep: keep}
+}
+
+// Attach registers the monitor on the machine.
+func (mo *Monitor) Attach(m *machine.Machine) {
+	m.OnSample(mo.record)
+}
+
+func (mo *Monitor) record(s machine.Sample) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	for id, f := range s.TaskFreqGHz {
+		mo.freq[id] = appendBounded(mo.freq[id], FreqSample{Now: s.Now, GHz: f}, mo.maxKeep)
+	}
+	mo.watts = appendBounded(mo.watts, FreqSample{Now: s.Now, GHz: s.PackageWatts}, mo.maxKeep)
+	mo.linkUtil = appendBounded(mo.linkUtil, FreqSample{Now: s.Now, GHz: s.LinkUtil}, mo.maxKeep)
+}
+
+func appendBounded(s []FreqSample, v FreqSample, maxKeep int) []FreqSample {
+	s = append(s, v)
+	if maxKeep > 0 && len(s) > maxKeep {
+		s = s[len(s)-maxKeep:]
+	}
+	return s
+}
+
+// MeanGHz returns the average observed frequency for a task over the
+// window [from, to] (the whole trace if to <= from).
+func (mo *Monitor) MeanGHz(id machine.TaskID, from, to float64) float64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return seriesMean(mo.freq[id], from, to)
+}
+
+// MeanWatts returns the average package power over the window.
+func (mo *Monitor) MeanWatts(from, to float64) float64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return seriesMean(mo.watts, from, to)
+}
+
+// MeanLinkUtil returns the average memory-link utilization over the
+// window.
+func (mo *Monitor) MeanLinkUtil(from, to float64) float64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return seriesMean(mo.linkUtil, from, to)
+}
+
+// FreqSeries returns a copy of the frequency trace of a task.
+func (mo *Monitor) FreqSeries(id machine.TaskID) []FreqSample {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	out := make([]FreqSample, len(mo.freq[id]))
+	copy(out, mo.freq[id])
+	return out
+}
+
+func seriesMean(s []FreqSample, from, to float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	all := to <= from
+	sum, n := 0.0, 0
+	for _, v := range s {
+		if all || (v.Now >= from && v.Now <= to) {
+			sum += v.GHz
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// UsageMetrics are the Table II per-phase metrics derived from a task's
+// accumulated statistics.
+type UsageMetrics struct {
+	AMXCycleRatio float64 // tma_amx_busy
+	FPAMXRatio    float64 // tma_fp_amx / tma_fp_arith
+	AVXCycleRatio float64
+	BackendBound  float64
+	DRAMBound     float64 // dram share of total cycles
+	FrontendBound float64
+	Retiring      float64
+}
+
+// Usage derives the Table II metrics from task statistics.
+func Usage(st machine.TaskStats) UsageMetrics {
+	b := st.NormalizedBreakdown()
+	return UsageMetrics{
+		AMXCycleRatio: st.AMXCycleRatio(),
+		FPAMXRatio:    st.FPAMXRatio(),
+		AVXCycleRatio: st.AVXCycleRatio(),
+		BackendBound:  b.BackendBound,
+		DRAMBound:     b.DRAMBound,
+		FrontendBound: b.FrontendBound,
+		Retiring:      b.Retiring,
+	}
+}
+
+// Distribution returns the normalized top-down breakdown of a task,
+// the quantity Figure 7 plots.
+func Distribution(st machine.TaskStats) topdown.Breakdown {
+	return st.NormalizedBreakdown()
+}
+
+// TurbostatReport renders the frequency traces of the given tasks in
+// the style of the turbostat tool the paper uses for Figure 6: one row
+// per sampling window with the per-task average frequency in GHz and
+// the package power.
+func (mo *Monitor) TurbostatReport(ids []machine.TaskID, names []string, windowS float64) string {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("   time_s")
+	for i := range ids {
+		name := fmt.Sprintf("task%d", ids[i])
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, " %10s", truncate(name, 10))
+	}
+	b.WriteString("     pkg_W\n")
+	if len(mo.watts) == 0 || windowS <= 0 {
+		return b.String()
+	}
+	end := mo.watts[len(mo.watts)-1].Now
+	for t0 := 0.0; t0 < end; t0 += windowS {
+		t1 := t0 + windowS
+		fmt.Fprintf(&b, "%9.2f", t1)
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %10.2f", seriesMean(mo.freq[id], t0, t1))
+		}
+		fmt.Fprintf(&b, " %9.1f\n", seriesMean(mo.watts, t0, t1))
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Percentile returns the p-th percentile (0..100) of the values.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := p / 100 * float64(len(s)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableISpecs(t *testing.T) {
+	tests := []struct {
+		p       Platform
+		cores   int
+		sockets int
+		amxTF   float64
+		baseGHz float64
+		llcMB   float64
+		bwGBs   float64
+	}{
+		{GenA(), 96, 2, 206.4, 2.7, 97.5, 233.8},
+		{GenB(), 96, 2, 206.4, 2.1, 105, 588},
+		{GenC(), 120, 1, 344, 2.8, 504, 600},
+	}
+	for _, tt := range tests {
+		if tt.p.Cores != tt.cores {
+			t.Errorf("%s cores = %d, want %d", tt.p.Name, tt.p.Cores, tt.cores)
+		}
+		if tt.p.Sockets != tt.sockets {
+			t.Errorf("%s sockets = %d, want %d", tt.p.Name, tt.p.Sockets, tt.sockets)
+		}
+		if tt.p.AMXPeakTFLOPS != tt.amxTF {
+			t.Errorf("%s AMX TFLOPS = %v, want %v", tt.p.Name, tt.p.AMXPeakTFLOPS, tt.amxTF)
+		}
+		if tt.p.BaseGHz != tt.baseGHz {
+			t.Errorf("%s base = %v, want %v", tt.p.Name, tt.p.BaseGHz, tt.baseGHz)
+		}
+		if got := tt.p.LLC.SizeMB(); math.Abs(got-tt.llcMB) > 1 {
+			t.Errorf("%s LLC = %.1f MB, want %.1f", tt.p.Name, got, tt.llcMB)
+		}
+		if tt.p.MemBWGBs != tt.bwGBs {
+			t.Errorf("%s BW = %v, want %v", tt.p.Name, tt.p.MemBWGBs, tt.bwGBs)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"GenA", "GenB", "GenC"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%s).Name = %s", name, p.Name)
+		}
+	}
+	if _, err := ByName("GenX"); err == nil {
+		t.Fatal("ByName(GenX) should error")
+	}
+}
+
+func TestPerCorePeaks(t *testing.T) {
+	p := GenA()
+	// 206.4 TF/socket x 2 sockets / 96 cores at base = 4.3 TF/core.
+	got := p.AMXPeakGFLOPSPerCore(p.BaseGHz)
+	if math.Abs(got-4300) > 1 {
+		t.Fatalf("GenA AMX per-core at base = %.0f GF, want 4300", got)
+	}
+	// Linear frequency scaling.
+	if half := p.AMXPeakGFLOPSPerCore(p.BaseGHz / 2); math.Abs(half-got/2) > 1e-9 {
+		t.Fatalf("peak does not scale linearly with frequency")
+	}
+}
+
+func TestLicenseOrdering(t *testing.T) {
+	for _, p := range All() {
+		if !(p.License.AMXHeavy < p.License.AVXHeavy && p.License.AVXHeavy < p.License.Scalar+1e-9) {
+			t.Errorf("%s license caps not ordered: %+v", p.Name, p.License)
+		}
+		if p.License.Scalar > p.TurboGHz+1e-9 {
+			t.Errorf("%s scalar license above turbo", p.Name)
+		}
+	}
+}
+
+func TestLLCWayMB(t *testing.T) {
+	p := GenA()
+	want := p.TotalLLCMB() / float64(p.LLC.Ways)
+	if got := p.LLCWayMB(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LLCWayMB = %v, want %v", got, want)
+	}
+	// 2 sockets double capacity per mirrored way.
+	if p.TotalLLCMB() != 2*p.LLC.SizeMB() {
+		t.Fatalf("TotalLLCMB = %v, want %v", p.TotalLLCMB(), 2*p.LLC.SizeMB())
+	}
+}
+
+func TestGPURefRatios(t *testing.T) {
+	g := A100FlexGen()
+	// Paper: GPU perf/W ~2.1x GenA's 188 tok/s at 270 W.
+	genAPerfW := 188.0 / 270
+	ratio := (g.TokensPS / g.Watts) / genAPerfW
+	if ratio < 1.8 || ratio > 2.4 {
+		t.Fatalf("GPU perf/W ratio = %.2f, want ~2.1", ratio)
+	}
+	// Paper: CPU wins perf-per-dollar.
+	genAPerfD := 188.0 / 7200
+	if g.TokensPS/g.PriceUSD > genAPerfD {
+		t.Fatalf("GPU perf/$ should be below GenA's")
+	}
+}

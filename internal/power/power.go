@@ -1,0 +1,297 @@
+// Package power models the package power and frequency behaviour that
+// creates the paper's Variation-2 (compulsory frequency interference):
+//
+//   - license caps: cores running wide-vector or tile instructions cap
+//     their frequency below the scalar all-core turbo (Figure 6a's
+//     prefill at ~2.5 GHz vs decode at ~3.1 GHz on GenA);
+//   - package TDP: when total power exceeds the limit the governor
+//     throttles, preferring AU-heavy regions (the cascaded reductions
+//     of Figure 6a's stressor experiments);
+//   - heat accumulation: a compact cluster of high-power shared cores
+//     triggers an additional throttle step, reproducing the abrupt
+//     mid-range frequency drops of Figure 6b.
+//
+// The governor works on regions — groups of cores with a common
+// activity class — because AUM (and real per-region uncore controls)
+// set frequency at region granularity.
+package power
+
+import (
+	"math"
+
+	"aum/internal/platform"
+)
+
+// Class is the activity class of a core or region, ordered by how
+// aggressively it draws power and how low its license cap is.
+type Class int
+
+const (
+	// Idle draws only leakage.
+	Idle Class = iota
+	// Scalar runs conventional integer/FP work at full turbo.
+	Scalar
+	// AVXHeavy sustains AVX-512 activity.
+	AVXHeavy
+	// AMXHeavy sustains AMX tile activity.
+	AMXHeavy
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Idle:
+		return "idle"
+	case Scalar:
+		return "scalar"
+	case AVXHeavy:
+		return "avx"
+	case AMXHeavy:
+		return "amx"
+	}
+	return "unknown"
+}
+
+// Calibration constants for the per-core dynamic power model
+// p = IdleCoreW + util * k(class) * (f/base)^powerExp. The k values are
+// set so that (a) a full-socket AMX prefill on GenA lands at the TDP at
+// its 2.5 GHz license cap, (b) a full-socket memory-bound decode stays
+// under TDP at 3.1 GHz, and (c) a full-socket scalar power virus sits
+// right at TDP at all-core turbo (Section IV-B measurements).
+const (
+	kScalar  = 3.2
+	kAVX     = 3.2
+	kAMX     = 5.1
+	powerExp = 2.5
+
+	// MinGHz is the governor's floor.
+	MinGHz = 1.2
+
+	// Throttle priorities: higher means throttled earlier when over
+	// TDP. AU-enabled regions shed frequency before scalar regions,
+	// matching Figure 6a (AU-disabled cores see no cascaded
+	// reduction).
+	prioAMX    = 1.60
+	prioAVX    = 1.30
+	prioScalar = 1.00
+
+	// Heat-accumulation heuristic (Figure 6b): a region of
+	// high-power cores small enough to cluster on the die but large
+	// enough to defeat neighbour heat-spreading takes extra throttle
+	// steps.
+	hotspotMinCores  = 12
+	hotspotMaxCores  = 24
+	hotspotPerCoreW  = 5.2
+	hotspotMinUtil   = 1.05 // only SMT-combined (shared) cores qualify
+	hotspotExtraStep = 2
+)
+
+func classK(c Class) float64 {
+	switch c {
+	case AMXHeavy:
+		return kAMX
+	case AVXHeavy:
+		return kAVX
+	case Scalar:
+		return kScalar
+	default:
+		return 0
+	}
+}
+
+func classPrio(c Class) float64 {
+	switch c {
+	case AMXHeavy:
+		return prioAMX
+	case AVXHeavy:
+		return prioAVX
+	case Scalar:
+		return prioScalar
+	default:
+		return 0
+	}
+}
+
+// LicenseCap returns the license frequency ceiling for a class on p.
+func LicenseCap(p platform.Platform, c Class) float64 {
+	switch c {
+	case AMXHeavy:
+		return p.License.AMXHeavy
+	case AVXHeavy:
+		return p.License.AVXHeavy
+	case Scalar:
+		return p.License.Scalar
+	default:
+		return p.License.Scalar
+	}
+}
+
+// CoreWatts returns the modelled power of one core of class c running
+// at util (fraction of cycles with the unit active) and ghz.
+func CoreWatts(p platform.Platform, c Class, util, ghz float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1.6 { // SMT-combined utilization can near-double core power
+		util = 1.6
+	}
+	if c == Idle || util == 0 || ghz <= 0 {
+		return p.IdleCoreW
+	}
+	scale := p.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return p.IdleCoreW + util*scale*classK(c)*math.Pow(ghz/p.BaseGHz, powerExp)
+}
+
+// RegionLoad describes one frequency region for a governor solve.
+type RegionLoad struct {
+	Cores int
+	Class Class   // dominant activity class of the region
+	Util  float64 // average unit utilization across the region's cores
+}
+
+// Solution is the outcome of a governor solve.
+type Solution struct {
+	FreqGHz      []float64 // per region, in input order
+	PackageWatts float64
+	Throttled    bool // true when the TDP forced reductions below license caps
+	Hotspot      bool // true when the heat-accumulation rule fired
+}
+
+// Governor computes region frequencies under license caps, the package
+// TDP, and the heat-accumulation heuristic. It is stateless between
+// solves except for a slow thermal average used for hysteresis.
+type Governor struct {
+	plat       platform.Platform
+	thermalAvg float64 // exponentially averaged package power
+}
+
+// NewGovernor returns a governor for the platform.
+func NewGovernor(p platform.Platform) *Governor {
+	return &Governor{plat: p}
+}
+
+// Platform returns the governed platform.
+func (g *Governor) Platform() platform.Platform { return g.plat }
+
+// quantize floors ghz to the platform frequency step.
+func (g *Governor) quantize(ghz float64) float64 {
+	step := g.plat.FreqStepGHz
+	if step <= 0 {
+		step = 0.1
+	}
+	return math.Floor(ghz/step+1e-9) * step
+}
+
+// packageWatts sums the modelled power of all regions plus uncore and
+// the leakage of unassigned (idle) cores.
+func (g *Governor) packageWatts(regions []RegionLoad, freqs []float64) float64 {
+	total := g.plat.UncoreWatts
+	used := 0
+	for i, r := range regions {
+		total += float64(r.Cores) * CoreWatts(g.plat, r.Class, r.Util, freqs[i])
+		used += r.Cores
+	}
+	if idle := g.plat.Cores - used; idle > 0 {
+		total += float64(idle) * g.plat.IdleCoreW
+	}
+	return total
+}
+
+// Solve assigns a frequency to every region. dt advances the thermal
+// average; pass 0 for a one-shot query.
+func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
+	freqs := make([]float64, len(regions))
+	for i, r := range regions {
+		f := LicenseCap(g.plat, r.Class)
+		// Lightly-utilized AU regions recover part of the license
+		// gap: a decode region at low AMX duty does not pay the full
+		// AMX license penalty (Figure 6a shows decode near the AVX
+		// cap despite issuing some AMX work).
+		if r.Class == AMXHeavy && r.Util < 0.35 {
+			f = LicenseCap(g.plat, AVXHeavy)
+		}
+		freqs[i] = g.quantize(f)
+	}
+
+	step := g.plat.FreqStepGHz
+	if step <= 0 {
+		step = 0.1
+	}
+	throttled := false
+	// TDP solve: step down the highest-priority region until the
+	// package fits. Priority decays as a region's frequency falls, so
+	// sustained overload spreads across classes instead of starving
+	// the AU region.
+	for iter := 0; iter < 512; iter++ {
+		if g.packageWatts(regions, freqs) <= g.plat.TDPWatts {
+			break
+		}
+		best, bestPrio := -1, 0.0
+		for i, r := range regions {
+			if r.Class == Idle || r.Cores == 0 || freqs[i] <= MinGHz {
+				continue
+			}
+			rel := freqs[i] / LicenseCap(g.plat, r.Class)
+			// Squared decay: a heavily-throttled AU region stops
+			// being the preferred victim, spreading sustained
+			// overload onto scalar regions instead of starving AU.
+			prio := classPrio(r.Class) * rel * rel
+			if prio > bestPrio {
+				best, bestPrio = i, prio
+			}
+		}
+		if best < 0 {
+			break
+		}
+		freqs[best] = g.quantize(freqs[best] - step)
+		if freqs[best] < MinGHz {
+			freqs[best] = MinGHz
+		}
+		throttled = true
+	}
+
+	// Heat accumulation (Figure 6b): compact clusters of high-power
+	// cores take extra steps.
+	hotspot := false
+	for i, r := range regions {
+		if r.Cores < hotspotMinCores || r.Cores > hotspotMaxCores {
+			continue
+		}
+		if r.Util < hotspotMinUtil {
+			continue
+		}
+		if CoreWatts(g.plat, r.Class, r.Util, freqs[i]) < hotspotPerCoreW {
+			continue
+		}
+		hotspot = true
+		freqs[i] = g.quantize(freqs[i] - float64(hotspotExtraStep)*step)
+		if freqs[i] < MinGHz {
+			freqs[i] = MinGHz
+		}
+	}
+
+	watts := g.packageWatts(regions, freqs)
+	if dt > 0 {
+		// Slow thermal average with ~2 s time constant; sustained
+		// near-TDP operation sheds one extra step everywhere.
+		alpha := dt / (dt + 2.0)
+		g.thermalAvg += alpha * (watts - g.thermalAvg)
+		if g.thermalAvg > 0.97*g.plat.TDPWatts {
+			for i := range freqs {
+				if regions[i].Class == Idle {
+					continue
+				}
+				f := g.quantize(freqs[i] - step)
+				if f >= MinGHz {
+					freqs[i] = f
+				}
+			}
+			watts = g.packageWatts(regions, freqs)
+			throttled = true
+		}
+	}
+	return Solution{FreqGHz: freqs, PackageWatts: watts, Throttled: throttled, Hotspot: hotspot}
+}

@@ -1,0 +1,125 @@
+// Package rdt is the control-plane facade AUM uses to steer the
+// machine, mirroring the interfaces of the real prototype: cpuset-style
+// task pinning, Cache Allocation Technology (contiguous LLC way masks
+// per class of service), and Memory Bandwidth Allocation (percentage
+// throttles in steps of 10, as the hardware exposes them).
+//
+// Keeping this layer thin but explicit matters for fidelity: AUM's
+// runtime controller only ever expresses decisions in the vocabulary
+// this package accepts, exactly as the paper's prototype drives
+// intel-cmt-cat.
+package rdt
+
+import (
+	"fmt"
+
+	"aum/internal/cache"
+	"aum/internal/machine"
+)
+
+// MBAStep is the hardware granularity of memory bandwidth allocation.
+const MBAStep = 10
+
+// Controller exposes RDT-style resource control over one machine.
+type Controller struct {
+	m *machine.Machine
+}
+
+// New returns a controller for the machine.
+func New(m *machine.Machine) *Controller { return &Controller{m: m} }
+
+// Machine returns the controlled machine.
+func (c *Controller) Machine() *machine.Machine { return c.m }
+
+// AllocateWays assigns the contiguous LLC way range [lo, hi] to a
+// class of service, preserving its current MBA setting.
+func (c *Controller) AllocateWays(cos, lo, hi int) error {
+	cfg, ok := c.m.COS(cos)
+	if !ok {
+		return fmt.Errorf("rdt: unknown COS %d", cos)
+	}
+	cfg.Ways = cache.Mask{Lo: lo, Hi: hi}
+	return c.m.SetCOS(cos, cfg)
+}
+
+// SetMBA sets a class's memory bandwidth throttle in percent. The
+// value is rounded up to the hardware's 10% granularity and clamped to
+// [10, 100].
+func (c *Controller) SetMBA(cos, percent int) error {
+	cfg, ok := c.m.COS(cos)
+	if !ok {
+		return fmt.Errorf("rdt: unknown COS %d", cos)
+	}
+	if percent < MBAStep {
+		percent = MBAStep
+	}
+	if percent > 100 {
+		percent = 100
+	}
+	percent = ((percent + MBAStep - 1) / MBAStep) * MBAStep
+	cfg.MBAFrac = float64(percent) / 100
+	return c.m.SetCOS(cos, cfg)
+}
+
+// Assign moves a task into a class of service without changing its
+// cores.
+func (c *Controller) Assign(id machine.TaskID, cos int) error {
+	p, ok := c.m.Placement(id)
+	if !ok {
+		return fmt.Errorf("rdt: unknown task %d", id)
+	}
+	p.COS = cos
+	return c.m.SetPlacement(id, p)
+}
+
+// Pin moves a task to the contiguous physical core range [lo, hi] on
+// the given SMT slot, keeping its class of service.
+func (c *Controller) Pin(id machine.TaskID, lo, hi, smtSlot int) error {
+	p, ok := c.m.Placement(id)
+	if !ok {
+		return fmt.Errorf("rdt: unknown task %d", id)
+	}
+	p.CoreLo, p.CoreHi, p.SMTSlot = lo, hi, smtSlot
+	return c.m.SetPlacement(id, p)
+}
+
+// Region is one contiguous core range for a bulk repin.
+type Region struct {
+	ID      machine.TaskID
+	Lo, Hi  int
+	SMTSlot int
+}
+
+// PinAll moves several tasks to new core ranges atomically, so a
+// processor-division switch whose new regions transiently overlap the
+// old ones validates only against the final layout.
+func (c *Controller) PinAll(regions []Region) error {
+	moves := make(map[machine.TaskID]machine.Placement, len(regions))
+	for _, r := range regions {
+		p, ok := c.m.Placement(r.ID)
+		if !ok {
+			return fmt.Errorf("rdt: unknown task %d", r.ID)
+		}
+		p.CoreLo, p.CoreHi, p.SMTSlot = r.Lo, r.Hi, r.SMTSlot
+		moves[r.ID] = p
+	}
+	return c.m.SetPlacements(moves)
+}
+
+// Ways returns the way mask of a class of service.
+func (c *Controller) Ways(cos int) (cache.Mask, error) {
+	cfg, ok := c.m.COS(cos)
+	if !ok {
+		return cache.Mask{}, fmt.Errorf("rdt: unknown COS %d", cos)
+	}
+	return cfg.Ways, nil
+}
+
+// MBA returns the bandwidth throttle of a class in percent.
+func (c *Controller) MBA(cos int) (int, error) {
+	cfg, ok := c.m.COS(cos)
+	if !ok {
+		return 0, fmt.Errorf("rdt: unknown COS %d", cos)
+	}
+	return int(cfg.MBAFrac*100 + 0.5), nil
+}

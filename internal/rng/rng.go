@@ -1,0 +1,118 @@
+// Package rng provides deterministic pseudo-random streams for the
+// simulator. Every stochastic component of the simulation owns its own
+// stream derived from a root seed, so experiments are reproducible
+// bit-for-bit regardless of the order in which components consume
+// randomness.
+package rng
+
+import "math"
+
+// Stream is a SplitMix64 generator. The zero value is a valid stream
+// seeded with 0; use New to seed explicitly and Split to derive
+// independent child streams.
+type Stream struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream {
+	return &Stream{state: seed}
+}
+
+// Split derives an independent child stream. The child's sequence does
+// not overlap the parent's for any practical draw count because the
+// child is seeded from a full 64-bit output of the parent.
+func (s *Stream) Split() *Stream {
+	return &Stream{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	u := s.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1-u) / rate
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (s *Stream) Norm(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	return mean + stddev*r*math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a log-normally distributed value whose *arithmetic*
+// mean is mean and whose shape parameter (sigma of the underlying
+// normal) is sigma. This parameterization is convenient for matching
+// trace statistics reported as plain averages.
+func (s *Stream) LogNormal(mean, sigma float64) float64 {
+	if mean <= 0 {
+		panic("rng: LogNormal with non-positive mean")
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Poisson returns a Poisson-distributed count with the given mean,
+// using Knuth's method for small means and a normal approximation for
+// large ones.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := s.Norm(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Jitter returns v scaled by a uniform factor in [1-amp, 1+amp].
+// It is used to add bounded measurement noise to profiled quantities.
+func (s *Stream) Jitter(v, amp float64) float64 {
+	return v * (1 + amp*(2*s.Float64()-1))
+}

@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(42)
+	child := parent.Split()
+	// The child must not replay the parent's sequence.
+	p := New(42)
+	p.Uint64() // advance past the split draw
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child stream mirrors parent at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	const rate = 2.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exp(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp(2) mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Norm mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("Norm stddev = %.3f, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	s := New(17)
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.LogNormal(755, 0.9)
+	}
+	mean := sum / n
+	if math.Abs(mean-755)/755 > 0.02 {
+		t.Fatalf("LogNormal arithmetic mean = %.1f, want ~755", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(19)
+	for _, lam := range []float64{0.5, 4, 30, 100} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(lam)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lam)/lam > 0.05 {
+			t.Fatalf("Poisson(%v) mean = %.3f", lam, mean)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 1000; i++ {
+		v := s.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stream
+	_ = s.Uint64() // must not panic
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"math"
+
+	"aum/internal/llm"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	Model llm.Model
+	SLO   SLO
+	// MaxBatch caps the decode batch (the paper serves with batch 16).
+	MaxBatch int
+	// PrefillBatch caps how many queued prompts one prefill pass
+	// fuses; 1 gives FCFS per-request prefill.
+	PrefillBatch int
+	// PrefillChunk, when positive, splits prompts into chunks of at
+	// most this many tokens and round-robins chunks across queued
+	// requests. Long prompts then cannot head-of-line-block short ones
+	// — the processor-sharing behaviour production engines get from
+	// chunked prefill — at the cost of extra latency for the longest
+	// requests. 0 keeps whole-prompt FCFS (the paper's scheduler).
+	PrefillChunk int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.PrefillBatch <= 0 {
+		c.PrefillBatch = 1
+	}
+	return c
+}
+
+// Engine coordinates the two serving phases over a shared request
+// population. It is not itself a machine workload; its two Workers are.
+type Engine struct {
+	cfg Config
+
+	queue        []*Request // waiting for prefill, FCFS
+	decodeSet    []*Request // in continuous-batching decode
+	admitBacklog []*Request // prefilled, waiting for a decode slot
+	stats        Stats
+
+	prefill *Worker
+	decode  *Worker
+}
+
+// NewEngine creates an engine and its two phase workers.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.prefill = &Worker{eng: e, phase: llm.Prefill}
+	e.decode = &Worker{eng: e, phase: llm.Decode}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// PrefillWorker returns the machine workload for the prefill phase.
+func (e *Engine) PrefillWorker() *Worker { return e.prefill }
+
+// DecodeWorker returns the machine workload for the decode phase.
+func (e *Engine) DecodeWorker() *Worker { return e.decode }
+
+// Stats returns a pointer to the engine's cumulative statistics.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Submit enqueues a request for prefill.
+func (e *Engine) Submit(r *Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	e.queue = append(e.queue, r)
+	return nil
+}
+
+// QueueLen returns the number of requests waiting for prefill.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// DecodeBatch returns the current decode batch size.
+func (e *Engine) DecodeBatch() int { return len(e.decodeSet) }
+
+// HeadWait returns how long the oldest queued request has been waiting
+// at time now — the t_wait of Algorithm 1 line 1.
+func (e *Engine) HeadWait(now float64) float64 {
+	if len(e.queue) == 0 {
+		return 0
+	}
+	return now - e.queue[0].Arrival
+}
+
+// LAGStats summarizes the LAG of in-flight decode requests (Algorithm 1
+// line 3): negative means behind the ideal schedule.
+type LAGStats struct {
+	Min   float64
+	Mean  float64
+	Count int
+}
+
+// LAG returns the LAG statistics of the in-flight decode batch.
+func (e *Engine) LAG() LAGStats {
+	if len(e.decodeSet) == 0 {
+		return LAGStats{Min: 0, Mean: 0}
+	}
+	min, sum := math.Inf(1), 0.0
+	for _, r := range e.decodeSet {
+		if r.LAG < min {
+			min = r.LAG
+		}
+		sum += r.LAG
+	}
+	return LAGStats{Min: min, Mean: sum / float64(len(e.decodeSet)), Count: len(e.decodeSet)}
+}
+
+// RuntimeSLOs returns the slack-adjusted runtime SLOs of Algorithm 1
+// lines 1-2: SLO_H = d_TTFT - t_wait for the prefill head-of-line and
+// SLO_L = d_TPOT + LAG for the decode batch (using the worst request's
+// LAG, so a behind-schedule request tightens the target).
+func (e *Engine) RuntimeSLOs(now float64) (sloH, sloL float64) {
+	sloH = e.cfg.SLO.TTFT - e.HeadWait(now)
+	if sloH < 1e-3 {
+		sloH = 1e-3
+	}
+	lag := e.LAG()
+	sloL = e.cfg.SLO.TPOT + lag.Min
+	if sloL < 1e-3 {
+		sloL = 1e-3
+	}
+	return sloH, sloL
+}
+
+// nextPrefillJob pops up to PrefillBatch requests and forms a prefill
+// job, or returns nil when the queue is empty. With PrefillChunk set,
+// the job covers only the head request's next chunk and unfinished
+// requests rotate to the back of the queue.
+func (e *Engine) nextPrefillJob(now float64) *job {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	if e.cfg.PrefillChunk > 0 {
+		r := e.queue[0]
+		e.queue = append(e.queue[:0], e.queue[1:]...)
+		if r.PrefillStart == 0 {
+			r.PrefillStart = now
+		}
+		remaining := r.PromptLen - r.prefillDone
+		chunk := e.cfg.PrefillChunk
+		if remaining < chunk {
+			chunk = remaining
+		}
+		plan := e.cfg.Model.PlanPrefill(1, chunk)
+		return &job{plan: plan, reqs: []*Request{r}, chunkTokens: chunk}
+	}
+	n := e.cfg.PrefillBatch
+	if n > len(e.queue) {
+		n = len(e.queue)
+	}
+	reqs := make([]*Request, n)
+	copy(reqs, e.queue[:n])
+	e.queue = append(e.queue[:0], e.queue[n:]...)
+	totalTokens := 0
+	for _, r := range reqs {
+		r.PrefillStart = now
+		totalTokens += r.PromptLen
+	}
+	seq := totalTokens / n
+	if seq < 1 {
+		seq = 1
+	}
+	plan := e.cfg.Model.PlanPrefill(n, seq)
+	return &job{plan: plan, reqs: reqs}
+}
+
+// nextDecodeJob forms one decode iteration over the current batch, or
+// returns nil when no request is decoding.
+func (e *Engine) nextDecodeJob(now float64) *job {
+	if len(e.decodeSet) == 0 {
+		return nil
+	}
+	reqs := make([]*Request, len(e.decodeSet))
+	copy(reqs, e.decodeSet)
+	ctx := 0
+	for _, r := range reqs {
+		ctx += r.PromptLen + r.TokensDone
+	}
+	plan := e.cfg.Model.PlanDecode(len(reqs), ctx/len(reqs))
+	return &job{plan: plan, reqs: reqs}
+}
+
+// onPrefillDone records the first token and moves requests into the
+// decode batch (continuous batching admits them at the next iteration
+// boundary). Chunked jobs that did not finish the prompt rotate the
+// request to the back of the queue instead.
+func (e *Engine) onPrefillDone(j *job, now float64) {
+	if j.chunkTokens > 0 {
+		r := j.reqs[0]
+		r.prefillDone += j.chunkTokens
+		if r.prefillDone < r.PromptLen {
+			e.queue = append(e.queue, r)
+			return
+		}
+	}
+	for _, r := range j.reqs {
+		r.FirstToken = now
+		r.LastTokenAt = now
+		r.TokensDone = 1
+		e.stats.recordTTFT(now-r.Arrival, e.cfg.SLO, r.PromptLen)
+		e.stats.PrefillTokens += float64(r.PromptLen)
+		if r.OutputLen <= 1 {
+			r.Done = true
+			e.stats.FinishedOutput++
+			continue
+		}
+		if len(e.decodeSet) < e.cfg.MaxBatch {
+			e.decodeSet = append(e.decodeSet, r)
+		} else {
+			// Batch full: requeue at the front of a side buffer by
+			// prepending to the admission backlog.
+			e.admitBacklog = append(e.admitBacklog, r)
+		}
+	}
+}
+
+// onDecodeDone records one produced token per request and retires
+// finished requests, admitting backlog into freed slots. Requests that
+// joined the batch while this iteration was in flight (continuous
+// batching admits at iteration boundaries) are untouched and simply
+// stay in the batch.
+func (e *Engine) onDecodeDone(j *job, now float64) {
+	for _, r := range j.reqs {
+		eTok := now - r.LastTokenAt
+		r.LastTokenAt = now
+		r.TokensDone++
+		r.LAG += e.cfg.SLO.TPOT - eTok
+		e.stats.recordToken(eTok, e.cfg.SLO.TPOT)
+		if r.TokensDone >= r.OutputLen {
+			r.Done = true
+			e.stats.FinishedOutput++
+		}
+	}
+	keep := e.decodeSet[:0]
+	for _, r := range e.decodeSet {
+		if !r.Done {
+			keep = append(keep, r)
+		}
+	}
+	e.decodeSet = keep
+	for len(e.admitBacklog) > 0 && len(e.decodeSet) < e.cfg.MaxBatch {
+		e.decodeSet = append(e.decodeSet, e.admitBacklog[0])
+		e.admitBacklog = e.admitBacklog[1:]
+	}
+}

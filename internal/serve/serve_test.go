@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aum/internal/llm"
+	"aum/internal/machine"
+	"aum/internal/platform"
+)
+
+func testConfig() Config {
+	return Config{
+		Model: llm.Llama2_7B(),
+		SLO:   SLO{TTFT: 0.25, TPOT: 0.10},
+	}
+}
+
+func fullEnv(cores int, ghz float64) machine.Env {
+	p := platform.GenA()
+	return machine.Env{Plat: p, Cores: cores, GHz: ghz, ComputeShare: 1,
+		LLCMB: p.TotalLLCMB(), L2MB: 96, BWGBs: p.MemBWGBs}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := NewEngine(testConfig())
+	if err := e.Submit(&Request{ID: 1, PromptLen: 0, OutputLen: 5}); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	if err := e.Submit(&Request{ID: 1, PromptLen: 5, OutputLen: 0}); err == nil {
+		t.Fatal("zero output accepted")
+	}
+	if err := e.Submit(&Request{ID: 1, PromptLen: 100, OutputLen: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if e.QueueLen() != 1 {
+		t.Fatal("queue length")
+	}
+}
+
+// runEngine drives both workers for the given number of 1 ms steps.
+func runEngine(e *Engine, steps int, cores int) {
+	envP := fullEnv(cores, 2.5)
+	envD := fullEnv(cores, 3.1)
+	now := 0.0
+	for i := 0; i < steps; i++ {
+		e.PrefillWorker().Step(envP, now, 1e-3)
+		e.DecodeWorker().Step(envD, now, 1e-3)
+		now += 1e-3
+	}
+}
+
+func TestEndToEndRequest(t *testing.T) {
+	e := NewEngine(testConfig())
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 256, OutputLen: 4}
+	if err := e.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	runEngine(e, 2000, 48)
+	if !r.Done {
+		t.Fatalf("request not finished: tokens=%d", r.TokensDone)
+	}
+	if r.TokensDone != 4 {
+		t.Fatalf("tokens done = %d, want 4", r.TokensDone)
+	}
+	if r.TTFT() <= 0 {
+		t.Fatal("TTFT not recorded")
+	}
+	st := e.Stats()
+	if st.PrefillRequests != 1 || st.DecodeTokens != 3 {
+		t.Fatalf("stats: prefills=%d decode=%v", st.PrefillRequests, st.DecodeTokens)
+	}
+	if st.PrefillTokens != 256 {
+		t.Fatalf("prefill tokens = %v", st.PrefillTokens)
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	e := NewEngine(testConfig())
+	a := &Request{ID: 1, Arrival: 0, PromptLen: 512, OutputLen: 2}
+	b := &Request{ID: 2, Arrival: 0.001, PromptLen: 64, OutputLen: 2}
+	e.Submit(a)
+	e.Submit(b)
+	runEngine(e, 3000, 48)
+	if !(a.FirstToken < b.FirstToken) {
+		t.Fatalf("FCFS violated: a@%v b@%v", a.FirstToken, b.FirstToken)
+	}
+}
+
+func TestContinuousBatchingCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 4
+	e := NewEngine(cfg)
+	for i := 0; i < 10; i++ {
+		e.Submit(&Request{ID: i, Arrival: 0, PromptLen: 64, OutputLen: 10})
+	}
+	envP := fullEnv(48, 2.5)
+	envD := fullEnv(48, 3.1)
+	now := 0.0
+	for i := 0; i < 8000; i++ {
+		e.PrefillWorker().Step(envP, now, 1e-3)
+		e.DecodeWorker().Step(envD, now, 1e-3)
+		if e.DecodeBatch() > 4 {
+			t.Fatalf("decode batch %d exceeds cap 4", e.DecodeBatch())
+		}
+		now += 1e-3
+	}
+	// Backlog admission must eventually drain all requests.
+	if e.Stats().FinishedOutput != 10 {
+		t.Fatalf("finished %d of 10", e.Stats().FinishedOutput)
+	}
+}
+
+func TestLAGInvariant(t *testing.T) {
+	// Algorithm 1 line 3: after a request produces k decode tokens,
+	// LAG = k*d_TPOT - (time span of those tokens).
+	e := NewEngine(testConfig())
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 128, OutputLen: 8}
+	e.Submit(r)
+	runEngine(e, 3000, 48)
+	if !r.Done {
+		t.Fatal("request unfinished")
+	}
+	k := float64(r.TokensDone - 1) // decode tokens
+	span := r.LastTokenAt - r.FirstToken
+	want := k*e.cfg.SLO.TPOT - span
+	if math.Abs(r.LAG-want) > 1e-9 {
+		t.Fatalf("LAG = %v, want %v (telescoping invariant)", r.LAG, want)
+	}
+}
+
+func TestRuntimeSLOs(t *testing.T) {
+	e := NewEngine(testConfig())
+	sloH, sloL := e.RuntimeSLOs(0)
+	if sloH != e.cfg.SLO.TTFT || sloL != e.cfg.SLO.TPOT {
+		t.Fatal("idle engine should report static SLOs")
+	}
+	// A queued request that has waited shrinks SLO_H (line 1).
+	e.Submit(&Request{ID: 1, Arrival: 0, PromptLen: 64, OutputLen: 2})
+	sloH, _ = e.RuntimeSLOs(0.2)
+	if math.Abs(sloH-0.05) > 1e-9 {
+		t.Fatalf("SLO_H = %v, want 0.05 after 200 ms wait", sloH)
+	}
+	// Never negative.
+	sloH, _ = e.RuntimeSLOs(10)
+	if sloH <= 0 {
+		t.Fatal("SLO_H must stay positive")
+	}
+}
+
+func TestScaledDeadline(t *testing.T) {
+	slo := SLO{TTFT: 0.25, TPOT: 0.1}
+	// Short prompt: the scaled form applies.
+	if d := slo.ScaledTTFTDeadline(1000); d <= slo.TTFT {
+		t.Fatalf("scaled deadline %v should exceed the absolute SLO for long prompts", d)
+	}
+	// Generous absolute SLO floors the deadline (the sm scenario).
+	loose := SLO{TTFT: 1.5, TPOT: 0.1}
+	if d := loose.ScaledTTFTDeadline(100); d != 1.5 {
+		t.Fatalf("deadline %v, want the 1.5 s absolute floor", d)
+	}
+	f := func(n uint16) bool {
+		d := slo.ScaledTTFTDeadline(int(n))
+		return d >= slo.TTFT && d >= float64(n)*TTFTPerTokenS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuaranteeBounds(t *testing.T) {
+	e := NewEngine(testConfig())
+	for i := 0; i < 6; i++ {
+		e.Submit(&Request{ID: i, Arrival: float64(i) * 0.05, PromptLen: 300 + 100*i, OutputLen: 5})
+	}
+	runEngine(e, 6000, 48)
+	st := e.Stats()
+	for name, v := range map[string]float64{
+		"ttft":       st.TTFTGuarantee(),
+		"ttftScaled": st.TTFTGuaranteeScaled(),
+		"tpot":       st.TPOTGuarantee(),
+	} {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s guarantee out of [0,1]: %v", name, v)
+		}
+	}
+	if st.MeanTTFT() <= 0 || st.MeanTPOT() <= 0 {
+		t.Fatal("means not recorded")
+	}
+	if st.TailTPOT(90) < st.TailTPOT(10) {
+		t.Fatal("percentiles inverted")
+	}
+}
+
+func TestWorkerIdleSpins(t *testing.T) {
+	e := NewEngine(testConfig())
+	env := fullEnv(48, 3.2)
+	d := e.PrefillWorker().Demand(env)
+	// A starved worker spins at scalar power (the exclusive-waste
+	// effect of Section III-B), not idle.
+	if d.Util <= 0 {
+		t.Fatal("starved worker should report spin utilization")
+	}
+	u := e.PrefillWorker().Step(env, 0, 1e-3)
+	if u.Work != 0 {
+		t.Fatal("starved worker produced work")
+	}
+}
+
+func TestStatsClone(t *testing.T) {
+	e := NewEngine(testConfig())
+	e.Submit(&Request{ID: 1, Arrival: 0, PromptLen: 100, OutputLen: 3})
+	runEngine(e, 1500, 48)
+	snap := e.Stats().Clone()
+	before := snap.DecodeTokens
+	e.Submit(&Request{ID: 2, Arrival: 1.5, PromptLen: 100, OutputLen: 3})
+	runEngine(e, 1500, 48)
+	if snap.DecodeTokens != before {
+		t.Fatal("clone aliased live stats")
+	}
+	if e.Stats().DecodeTokens <= before {
+		t.Fatal("live stats did not advance")
+	}
+}
+
+func TestChunkedPrefillAvoidsHeadOfLineBlocking(t *testing.T) {
+	run := func(chunk int) (longTTFT, shortTTFT float64) {
+		cfg := testConfig()
+		cfg.PrefillChunk = chunk
+		e := NewEngine(cfg)
+		long := &Request{ID: 1, Arrival: 0, PromptLen: 4000, OutputLen: 2}
+		short := &Request{ID: 2, Arrival: 0.001, PromptLen: 64, OutputLen: 2}
+		e.Submit(long)
+		e.Submit(short)
+		runEngine(e, 6000, 48)
+		if !long.Done || !short.Done {
+			t.Fatalf("requests unfinished (chunk=%d)", chunk)
+		}
+		return long.TTFT(), short.TTFT()
+	}
+	_, shortFCFS := run(0)
+	longChunked, shortChunked := run(512)
+	// Chunking lets the short request slip past the 4000-token prompt.
+	if shortChunked >= shortFCFS {
+		t.Fatalf("chunked short TTFT %v not better than FCFS %v", shortChunked, shortFCFS)
+	}
+	// The long request still completes in bounded time.
+	if longChunked <= 0 || longChunked > 10 {
+		t.Fatalf("chunked long TTFT implausible: %v", longChunked)
+	}
+}
+
+func TestChunkedPrefillAccounting(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefillChunk = 128
+	e := NewEngine(cfg)
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 500, OutputLen: 3}
+	e.Submit(r)
+	runEngine(e, 4000, 48)
+	if !r.Done {
+		t.Fatal("request unfinished")
+	}
+	st := e.Stats()
+	// Prefill tokens counted once, not per chunk.
+	if st.PrefillTokens != 500 {
+		t.Fatalf("prefill tokens = %v, want 500", st.PrefillTokens)
+	}
+	if st.PrefillRequests != 1 {
+		t.Fatalf("prefill requests = %d", st.PrefillRequests)
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+
+	"aum/internal/llm"
+	"aum/internal/machine"
+	"aum/internal/power"
+)
+
+// job is one iteration in flight: a prefill pass, one chunk of a
+// chunked prefill, or a decode step.
+type job struct {
+	plan        llm.IterationPlan
+	reqs        []*Request
+	remaining   float64 // fraction of the iteration still to execute
+	chunkTokens int     // >0 for a chunked prefill job
+}
+
+// Worker executes one serving phase as a machine workload. The manager
+// places the prefill worker in the high-AU region and the decode worker
+// in the low-AU region (Section VI-B2).
+type Worker struct {
+	eng     *Engine
+	phase   llm.Phase
+	current *job
+
+	// Telemetry for controllers and the profiler.
+	lastCost  llm.IterationCost
+	busyTime  float64
+	idleTime  float64
+	completed int
+}
+
+// Name implements machine.Workload.
+func (w *Worker) Name() string {
+	return fmt.Sprintf("llm-%s:%s", w.eng.cfg.Model.Name, w.phase)
+}
+
+// Phase returns the worker's serving phase.
+func (w *Worker) Phase() llm.Phase { return w.phase }
+
+// Completed returns the number of iterations finished so far.
+func (w *Worker) Completed() int { return w.completed }
+
+// Utilization returns the busy fraction since the worker started.
+func (w *Worker) Utilization() float64 {
+	t := w.busyTime + w.idleTime
+	if t <= 0 {
+		return 0
+	}
+	return w.busyTime / t
+}
+
+// CurrentPlan returns the plan being executed, if any.
+func (w *Worker) CurrentPlan() (llm.IterationPlan, bool) {
+	if w.current == nil {
+		return llm.IterationPlan{}, false
+	}
+	return w.current.plan, true
+}
+
+// ensureJob pulls the next job from the engine if none is in flight.
+func (w *Worker) ensureJob(now float64) *job {
+	if w.current != nil {
+		return w.current
+	}
+	var j *job
+	if w.phase == llm.Prefill {
+		j = w.eng.nextPrefillJob(now)
+	} else {
+		j = w.eng.nextDecodeJob(now)
+	}
+	if j != nil {
+		j.remaining = 1
+		w.current = j
+	}
+	return j
+}
+
+// spinUtil is the power-relevant utilization of a starved worker:
+// xFasterTransformer-style OpenMP workers busy-wait on their cores
+// rather than sleeping, so exclusively-allocated cores burn near-scalar
+// power even with no request in flight. This is the resource waste the
+// paper's exclusive baseline pays for (Section III-B).
+const spinUtil = 0.5
+
+// Demand implements machine.Workload: the appetite of the current (or
+// imminent) iteration.
+func (w *Worker) Demand(env machine.Env) machine.Demand {
+	j := w.current
+	if j == nil {
+		// Starved: spin-waiting at scalar power, no memory traffic.
+		if w.phase == llm.Prefill && w.eng.QueueLen() == 0 {
+			return machine.Demand{Class: power.Scalar, Util: spinUtil}
+		}
+		if w.phase == llm.Decode && w.eng.DecodeBatch() == 0 {
+			return machine.Demand{Class: power.Scalar, Util: spinUtil}
+		}
+	}
+	var plan llm.IterationPlan
+	if j != nil {
+		plan = j.plan
+	} else if w.phase == llm.Prefill {
+		plan = w.eng.cfg.Model.PlanPrefill(1, 512)
+	} else {
+		plan = w.eng.cfg.Model.PlanDecode(w.eng.DecodeBatch(), 512)
+	}
+	cost := llm.CostIteration(plan, env)
+	class := power.AVXHeavy
+	if cost.AMXBusy > 0.08 {
+		class = power.AMXHeavy
+	}
+	return machine.Demand{
+		Class: class,
+		Util:  cost.Util,
+		BWGBs: llm.DemandOf(plan, env),
+	}
+}
+
+// Step implements machine.Workload: execute for dt under env,
+// completing as many iteration boundaries as fit.
+func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
+	var u machine.Usage
+	left := dt
+	for left > 1e-12 {
+		j := w.ensureJob(now + (dt - left))
+		if j == nil {
+			w.idleTime += left
+			u.Util += spinUtil * left
+			break
+		}
+		cost := llm.CostIteration(j.plan, env)
+		w.lastCost = cost
+		if cost.TotalS <= 0 {
+			cost.TotalS = 1e-9
+		}
+		need := j.remaining * cost.TotalS
+		var ran float64
+		if need <= left {
+			ran = need
+			j.remaining = 0
+		} else {
+			ran = left
+			j.remaining -= left / cost.TotalS
+		}
+		frac := ran / cost.TotalS
+		u.Flops += (j.plan.AMXFlops + j.plan.AVXFlops) * frac
+		u.AMXFlops += j.plan.AMXFlops * frac
+		u.AVXFlops += j.plan.AVXFlops * frac
+		u.DRAMBytes += cost.DRAMBytes * frac
+		u.AMXBusy += cost.AMXBusy * ran
+		u.AVXBusy += cost.AVXBusy * ran
+		u.Util += cost.Util * ran
+		u.Breakdown.Weighted(cost.Breakdown, ran)
+		w.busyTime += ran
+		left -= ran
+
+		if j.remaining <= 1e-9 {
+			done := now + (dt - left)
+			if w.phase == llm.Prefill {
+				w.eng.onPrefillDone(j, done)
+			} else {
+				w.eng.onDecodeDone(j, done)
+			}
+			u.Work += float64(j.plan.Tokens)
+			w.completed++
+			w.current = nil
+		}
+	}
+	// Convert time-weighted sums to dt-averages.
+	if dt > 0 {
+		u.AMXBusy /= dt
+		u.AVXBusy /= dt
+		u.Util /= dt
+	}
+	u.Breakdown.Normalize()
+	return u
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"aum/internal/serve"
+)
+
+// Recorded is a persisted request trace: the reproducible artifact the
+// paper gets from replaying ShareGPT/HumanEval/LongBench dumps. A
+// recorded trace pins the exact arrival times and lengths so two
+// managers can be compared on identical inputs across processes.
+type Recorded struct {
+	Scenario string    `json:"scenario"`
+	Seed     uint64    `json:"seed"`
+	Requests []Request `json:"requests"`
+}
+
+// Request is one recorded arrival.
+type Request struct {
+	Arrival   float64 `json:"arrival"`
+	PromptLen int     `json:"prompt_len"`
+	OutputLen int     `json:"output_len"`
+}
+
+// Record materializes horizon seconds of a scenario's stream.
+func Record(s Scenario, seed uint64, horizonS float64) *Recorded {
+	g := NewGenerator(s, seed)
+	rec := &Recorded{Scenario: s.Name, Seed: seed}
+	for now := 0.0; now < horizonS; now += 1 {
+		step := 1.0
+		if now+step > horizonS {
+			step = horizonS - now
+		}
+		for _, r := range g.Emit(now, step) {
+			rec.Requests = append(rec.Requests, Request{
+				Arrival: r.Arrival, PromptLen: r.PromptLen, OutputLen: r.OutputLen,
+			})
+		}
+	}
+	return rec
+}
+
+// Save writes the trace as JSON.
+func (r *Recorded) Save(path string) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("trace: encoding recorded trace: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a trace written by Save.
+func Load(path string) (*Recorded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading recorded trace: %w", err)
+	}
+	var r Recorded
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("trace: decoding recorded trace: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the trace for replayability.
+func (r *Recorded) Validate() error {
+	if !sort.SliceIsSorted(r.Requests, func(i, j int) bool {
+		return r.Requests[i].Arrival < r.Requests[j].Arrival
+	}) {
+		return fmt.Errorf("trace: arrivals out of order")
+	}
+	for i, q := range r.Requests {
+		if q.PromptLen < 1 || q.OutputLen < 1 || q.Arrival < 0 {
+			return fmt.Errorf("trace: request %d malformed: %+v", i, q)
+		}
+	}
+	return nil
+}
+
+// Replayer emits a recorded trace with the Generator's interface, so
+// any harness accepting an arrival source can run pinned inputs.
+type Replayer struct {
+	rec    *Recorded
+	pos    int
+	nextID int
+}
+
+// NewReplayer returns a replayer positioned at the trace start.
+func NewReplayer(rec *Recorded) *Replayer {
+	return &Replayer{rec: rec}
+}
+
+// Emit returns the requests arriving in (now, now+dt].
+func (p *Replayer) Emit(now, dt float64) []*serve.Request {
+	var out []*serve.Request
+	for p.pos < len(p.rec.Requests) && p.rec.Requests[p.pos].Arrival <= now+dt {
+		q := p.rec.Requests[p.pos]
+		p.pos++
+		p.nextID++
+		out = append(out, &serve.Request{
+			ID:        p.nextID,
+			Arrival:   q.Arrival,
+			PromptLen: q.PromptLen,
+			OutputLen: q.OutputLen,
+		})
+	}
+	return out
+}
+
+// Remaining returns how many requests have not been emitted yet.
+func (p *Replayer) Remaining() int { return len(p.rec.Requests) - p.pos }

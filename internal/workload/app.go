@@ -1,0 +1,183 @@
+// Package workload provides the non-LLM application models: the
+// best-effort co-runners of Section V-A (Compute, OLAP, SPECjbb), the
+// characterization workloads of Figure 7 (mcf, ads, a GEMM
+// microkernel, a power stressor), and the AU-accelerated applications
+// of Figure 4 (Faiss, Vocoder, DeepFM).
+//
+// Every model is an analytic rate workload: an unconstrained per-core
+// rate scaled by frequency sensitivity and SMT share, then limited by
+// granted memory bandwidth through its cache miss curve. The
+// calibration targets are the paper's *relative* sensitivities — which
+// resource hurts whom — rather than absolute application scores.
+package workload
+
+import (
+	"math"
+
+	"aum/internal/cache"
+	"aum/internal/machine"
+	"aum/internal/membw"
+	"aum/internal/power"
+	"aum/internal/rng"
+	"aum/internal/topdown"
+)
+
+// Profile is the static characterization of an analytic workload.
+type Profile struct {
+	Name string
+
+	// PerCoreRate is the work-unit rate of one core at RefGHz with
+	// unconstrained resources.
+	PerCoreRate float64
+	RefGHz      float64
+	// FreqSens is the exponent of the frequency scaling: 1 for
+	// compute-bound, near 0 for memory-latency-bound work.
+	FreqSens float64
+
+	// Memory behaviour: every work unit moves ColdBytes from DRAM
+	// unconditionally and ReuseBytes filtered by the LLC miss curve.
+	ColdBytes  float64
+	ReuseBytes float64
+	Curve      cache.MissCurve
+	// LatencySens scales how strongly memory-queueing delays (link
+	// congestion) slow the workload down.
+	LatencySens float64
+	// SMTSens is the exponent applied to the SMT compute share:
+	// 1 = proportional (simple integer work fills the sibling's stall
+	// slots well), >1 = super-linear collapse (latency-bounded scores
+	// like SPECjbb's critical-jOPS crater when a busy sibling steals
+	// ports and private caches).
+	SMTSens float64
+
+	// Power class and unit utilization.
+	Class power.Class
+	Util  float64
+
+	// Top-down shape.
+	BadSpec       float64
+	FEParam       float64 // frontend-bound fraction when unstalled
+	SerializeFrac float64
+	MemPath       [4]float64
+	DRAMBWShare   float64
+
+	// Burstiness: amplitude of a slow random-walk modulation of the
+	// offered intensity (SPECjbb's fluctuating resource demand).
+	BurstAmp    float64
+	BurstPeriod float64
+
+	// RevenuePrice is the gamma price of one work unit in the
+	// efficiency objective (Section VII-A1).
+	RevenuePrice float64
+}
+
+// App is a running instance of a profile.
+type App struct {
+	prof  Profile
+	rng   *rng.Stream
+	burst float64 // current modulation in [1-amp, 1+amp]
+	phase float64
+}
+
+// New instantiates a profile with its own random stream.
+func New(p Profile, seed uint64) *App {
+	return &App{prof: p, rng: rng.New(seed), burst: 1}
+}
+
+// Name implements machine.Workload.
+func (a *App) Name() string { return a.prof.Name }
+
+// Profile returns the static characterization.
+func (a *App) Profile() Profile { return a.prof }
+
+// bytesPerUnit returns the DRAM traffic per work unit under the LLC
+// allocation.
+func (a *App) bytesPerUnit(llcMB float64) float64 {
+	return a.prof.ColdBytes + a.prof.ReuseBytes*a.prof.Curve.MissRatio(llcMB)
+}
+
+// unconstrainedRate returns the compute-side rate under env.
+func (a *App) unconstrainedRate(env machine.Env) float64 {
+	share := env.ComputeShare
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	if a.prof.SMTSens > 1 {
+		share = math.Pow(share, a.prof.SMTSens)
+	}
+	f := env.GHz / a.prof.RefGHz
+	if f <= 0 {
+		return 0
+	}
+	return a.prof.PerCoreRate * float64(env.Cores) * math.Pow(f, a.prof.FreqSens) * share * a.burst
+}
+
+// Demand implements machine.Workload.
+func (a *App) Demand(env machine.Env) machine.Demand {
+	r := a.unconstrainedRate(env)
+	return machine.Demand{
+		Class: a.prof.Class,
+		Util:  a.prof.Util * a.burst,
+		BWGBs: r * a.bytesPerUnit(env.LLCMB) / 1e9,
+	}
+}
+
+// Step implements machine.Workload.
+func (a *App) Step(env machine.Env, now, dt float64) machine.Usage {
+	// Advance burst modulation as a bounded random walk.
+	if a.prof.BurstAmp > 0 {
+		period := a.prof.BurstPeriod
+		if period <= 0 {
+			period = 1
+		}
+		a.phase += dt / period * (0.5 + a.rng.Float64())
+		a.burst = 1 + a.prof.BurstAmp*math.Sin(2*math.Pi*a.phase)
+	}
+
+	r0 := a.unconstrainedRate(env)
+	bpu := a.bytesPerUnit(env.LLCMB)
+	rate := r0
+	memLimited := false
+	if bpu > 0 && env.BWGBs > 0 {
+		rMem := env.BWGBs * 1e9 / bpu
+		if rMem < rate {
+			rate = rMem
+			memLimited = true
+		}
+	}
+	// Link congestion inflates memory latency for latency-sensitive
+	// work even when bandwidth itself is not the limit.
+	if a.prof.LatencySens > 0 {
+		rate /= 1 + a.prof.LatencySens*(membw.QueuePenalty(env.LinkUtil)-1)
+	}
+
+	work := rate * dt
+	memStallFrac := 0.0
+	if r0 > 0 {
+		memStallFrac = 1 - rate/r0
+	}
+	retiring := 0.12 * rate / math.Max(r0, 1e-9)
+	if a.prof.Class == power.Scalar && !memLimited {
+		retiring = 0.45 * rate / math.Max(r0, 1e-9)
+	}
+	fe := a.prof.FEParam * (1 - memStallFrac)
+	bd := topdown.Compose(retiring, a.prof.BadSpec, fe,
+		1-clamp01(0.3+0.7*memStallFrac), a.prof.SerializeFrac,
+		a.prof.MemPath, a.prof.DRAMBWShare)
+
+	return machine.Usage{
+		Work:      work,
+		DRAMBytes: work * bpu,
+		Util:      a.prof.Util * a.burst * clamp01(rate/math.Max(r0, 1e-9)+0.3),
+		Breakdown: bd,
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

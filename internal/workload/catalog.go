@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"aum/internal/cache"
+	"aum/internal/power"
+)
+
+// The best-effort co-runners of Section V-A. Revenue prices are the
+// gamma values of Section VII-A1 (1e-3 for Compute events, 1e-6 for
+// OLAP row batches, 3e-5 for SPECjbb transactions); the per-core rates
+// are calibrated so a ~20-core harvest yields the single-digit-percent
+// efficiency contributions of Figure 14.
+
+// Compute returns the sysbench-style prime-division benchmark:
+// compute-bound, frequency-sensitive, cache- and bandwidth-light.
+func Compute() Profile {
+	return Profile{
+		Name:        "Compute",
+		PerCoreRate: 6500, RefGHz: 3.2, FreqSens: 1.0,
+		ColdBytes: 400, ReuseBytes: 1200,
+		Curve:       cache.MissCurve{WorkingSetMB: 1.5, Gamma: 2, FloorMiss: 0.02},
+		LatencySens: 0.05, SMTSens: 2.6,
+		Class: power.Scalar, Util: 1.0,
+		BadSpec: 0.02, FEParam: 0.03, SerializeFrac: 0.2,
+		MemPath:      [4]float64{0.5, 0.3, 0.15, 0.05},
+		DRAMBWShare:  0.2,
+		RevenuePrice: 1e-3,
+	}
+}
+
+// OLAP returns the TPC-H-style analytical query replay:
+// memory-intensive scanning with a large reusable hot set.
+func OLAP() Profile {
+	return Profile{
+		Name:        "OLAP",
+		PerCoreRate: 4.0e5, RefGHz: 3.2, FreqSens: 0.35,
+		ColdBytes: 2200, ReuseBytes: 4500,
+		Curve:       cache.MissCurve{WorkingSetMB: 140, Gamma: 1.6, FloorMiss: 0.25},
+		LatencySens: 0.6, SMTSens: 1.8,
+		Class: power.Scalar, Util: 0.55,
+		BadSpec: 0.04, FEParam: 0.05, SerializeFrac: 0.15,
+		MemPath:      [4]float64{0.1, 0.15, 0.2, 0.55},
+		DRAMBWShare:  0.7,
+		RevenuePrice: 1e-6,
+	}
+}
+
+// SPECjbb returns the SPECjbb2015-style Java server: complex execution,
+// cache-sensitive, frontend-heavy, with fluctuating intensity
+// (Section VII-D notes its rapidly fluctuating resources).
+func SPECjbb() Profile {
+	return Profile{
+		Name:        "SPECjbb",
+		PerCoreRate: 200000, RefGHz: 3.2, FreqSens: 0.8,
+		ColdBytes: 250, ReuseBytes: 900,
+		Curve:       cache.MissCurve{WorkingSetMB: 70, Gamma: 1.8, FloorMiss: 0.1},
+		LatencySens: 0.35, SMTSens: 2.8,
+		Class: power.Scalar, Util: 0.85,
+		BadSpec: 0.06, FEParam: 0.16, SerializeFrac: 0.25,
+		MemPath:     [4]float64{0.25, 0.25, 0.25, 0.25},
+		DRAMBWShare: 0.4,
+		BurstAmp:    0.35, BurstPeriod: 2.5,
+		RevenuePrice: 3e-5,
+	}
+}
+
+// Stressor returns the all-core power virus used in Figure 6a: maximal
+// scalar power draw, negligible memory traffic, no revenue.
+func Stressor() Profile {
+	return Profile{
+		Name:        "stressor",
+		PerCoreRate: 1000, RefGHz: 3.2, FreqSens: 1.0,
+		ColdBytes: 32, ReuseBytes: 0,
+		Curve: cache.MissCurve{WorkingSetMB: 0.1, Gamma: 2, FloorMiss: 0},
+		Class: power.Scalar, Util: 1.0,
+		BadSpec: 0.01, FEParam: 0.01, SerializeFrac: 0.1,
+		MemPath:     [4]float64{0.8, 0.15, 0.05, 0},
+		DRAMBWShare: 0.1,
+	}
+}
+
+// MCF returns the SPEC CPU mcf benchmark model: pointer-chasing,
+// memory-latency-bound, the conventional-workload contrast of Figure 7.
+func MCF() Profile {
+	return Profile{
+		Name:        "mcf",
+		PerCoreRate: 900, RefGHz: 3.2, FreqSens: 0.25,
+		ColdBytes: 90000, ReuseBytes: 260000,
+		Curve:       cache.MissCurve{WorkingSetMB: 350, Gamma: 1.4, FloorMiss: 0.3},
+		LatencySens: 1.0, SMTSens: 1.5,
+		Class: power.Scalar, Util: 0.5,
+		BadSpec: 0.06, FEParam: 0.05, SerializeFrac: 0.2,
+		MemPath:     [4]float64{0.12, 0.18, 0.2, 0.5},
+		DRAMBWShare: 0.25, // latency- rather than bandwidth-bound
+	}
+}
+
+// Ads returns the warehouse-scale ads-serving model (Kanev et al.):
+// huge instruction footprint, frontend-bound — Figure 7's second
+// conventional contrast.
+func Ads() Profile {
+	return Profile{
+		Name:        "ads",
+		PerCoreRate: 30000, RefGHz: 3.2, FreqSens: 0.7,
+		ColdBytes: 1500, ReuseBytes: 2500,
+		Curve:       cache.MissCurve{WorkingSetMB: 60, Gamma: 1.6, FloorMiss: 0.15},
+		LatencySens: 0.4, SMTSens: 1.8,
+		Class: power.Scalar, Util: 0.7,
+		BadSpec: 0.08, FEParam: 0.38, SerializeFrac: 0.2,
+		MemPath:     [4]float64{0.3, 0.3, 0.2, 0.2},
+		DRAMBWShare: 0.35,
+	}
+}
+
+// ByName returns a catalog profile by its name.
+func ByName(name string) (Profile, error) {
+	for _, p := range []Profile{Compute(), OLAP(), SPECjbb(), Stressor(), MCF(), Ads()} {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// CoRunners returns the three Section V-A best-effort applications.
+func CoRunners() []Profile {
+	return []Profile{Compute(), OLAP(), SPECjbb()}
+}
