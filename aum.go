@@ -26,12 +26,14 @@
 package aum
 
 import (
+	"aum/internal/chaos"
 	"aum/internal/colo"
 	"aum/internal/core"
 	"aum/internal/experiments"
 	"aum/internal/llm"
 	"aum/internal/manager"
 	"aum/internal/platform"
+	"aum/internal/serve"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -65,6 +67,17 @@ type (
 	ResultTable = experiments.Table
 	// ExperimentOptions tune experiment fidelity.
 	ExperimentOptions = experiments.Options
+	// ChaosSchedule is a deterministic fault plan for robustness runs
+	// (set RunConfig.Chaos).
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one scheduled fault in a ChaosSchedule.
+	ChaosEvent = chaos.Event
+	// AdmissionPolicy bounds the serving engine's queue and backlog
+	// (set RunConfig.Admission).
+	AdmissionPolicy = serve.Admission
+	// ViolationWindow is one contiguous span of measured SLO violation
+	// in a RunResult.
+	ViolationWindow = colo.ViolationWindow
 )
 
 // Platforms returns the three evaluated platforms (Table I).
@@ -153,6 +166,18 @@ func LoadTrace(path string) (*RecordedTrace, error) { return trace.Load(path) }
 
 // RecordedTrace is a persisted, replayable request stream.
 type RecordedTrace = trace.Recorded
+
+// PhaseFlipCoreLoss returns the canonical robustness fault plan: at
+// time at the co-runner permanently flips into its unprofiled phase and
+// the lowest cores go offline for outageS seconds.
+func PhaseFlipCoreLoss(at float64, cores int, outageS float64) ChaosSchedule {
+	return chaos.PhaseFlipCoreLoss(at, cores, outageS)
+}
+
+// ChaosStorm returns a denser mixed fault schedule for soak testing.
+func ChaosStorm(startS, spacingS float64, seed uint64) ChaosSchedule {
+	return chaos.Storm(startS, spacingS, seed)
+}
 
 // Experiments returns every registered paper artifact (tables and
 // figures), sorted by ID.

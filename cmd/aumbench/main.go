@@ -28,6 +28,7 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "root random seed")
 		format = flag.String("format", "text", "output format: text | csv")
 	)
+	flag.StringVar(run, "experiment", "", "alias for -run")
 	flag.Parse()
 
 	if *list || *run == "" {

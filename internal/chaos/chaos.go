@@ -1,0 +1,330 @@
+// Package chaos injects deterministic, seedable fault schedules into a
+// running co-location experiment. Every event drives the simulator
+// through its existing interfaces — core offlining through the machine,
+// co-runner drift through the workload model, load bursts through the
+// serving engine — so a chaos run exercises exactly the control surface
+// the AUM controller sees in a clean run, plus the perturbation.
+//
+// The event taxonomy covers the failure classes the paper's premise
+// exposes a shared processor to:
+//
+//   - CoreOffline: the lowest N cores drop out (hitting the prefill
+//     region, which every division anchors at the bottom of the core
+//     range), as with a hardware fault or a hypervisor reclaiming CPUs.
+//   - IntensitySurge: the co-runner's offered load multiplies, the way
+//     a batch job's input backlog spikes.
+//   - PhaseFlip: the co-runner switches into a markedly more
+//     memory-hungry behavioural phase, invalidating the AUV bucket the
+//     controller profiled — the post-profiling drift Section VII-D
+//     names as AUM's limitation.
+//   - FreqFlap: the package loses frequency headroom (license-level
+//     flapping, thermal capping) and all regions derate.
+//   - BWSpike: an external agent (another socket, a DMA-heavy device)
+//     saturates part of the memory bandwidth.
+//   - Burst: a flash crowd of serving requests arrives at one instant,
+//     on top of the scenario's Poisson stream.
+//
+// Events with a positive Duration revert automatically; the injector
+// logs every application and revert so harnesses can correlate SLO
+// violation windows with what was injected.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"aum/internal/machine"
+	"aum/internal/serve"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	CoreOffline Kind = iota
+	IntensitySurge
+	PhaseFlip
+	FreqFlap
+	BWSpike
+	Burst
+)
+
+var kindNames = [...]string{"CoreOffline", "IntensitySurge", "PhaseFlip", "FreqFlap", "BWSpike", "Burst"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the simulation time the fault strikes.
+	At float64
+	// Kind selects the fault class and which parameter below applies.
+	Kind Kind
+	// Duration, when positive, reverts the fault at At+Duration:
+	// offlined cores come back, a surged or flipped co-runner returns
+	// to its profiled behaviour, frequency and bandwidth recover. 0
+	// makes the fault permanent for the rest of the run. Burst events
+	// are instantaneous and ignore Duration.
+	Duration float64
+
+	// Cores is how many of the lowest cores CoreOffline removes.
+	Cores int
+	// Mult is the IntensitySurge load multiplier (> 1 surges).
+	Mult float64
+	// Derate is the FreqFlap frequency multiplier in (0, 1].
+	Derate float64
+	// GBs is the BWSpike external bandwidth pressure in GB/s.
+	GBs float64
+	// Requests is how many arrivals a Burst injects at once.
+	Requests int
+}
+
+// Schedule is a deterministic fault plan: a list of events plus the
+// seed that derives any randomness (burst request lengths).
+type Schedule struct {
+	Events []Event
+	Seed   uint64
+}
+
+// Validate checks the schedule for injectability.
+func (s *Schedule) Validate() error {
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("chaos: event %d (%s): negative time %v", i, ev.Kind, ev.At)
+		}
+		if ev.Duration < 0 {
+			return fmt.Errorf("chaos: event %d (%s): negative duration %v", i, ev.Kind, ev.Duration)
+		}
+		switch ev.Kind {
+		case CoreOffline:
+			if ev.Cores < 1 {
+				return fmt.Errorf("chaos: event %d: CoreOffline with %d cores", i, ev.Cores)
+			}
+		case IntensitySurge:
+			if ev.Mult <= 0 {
+				return fmt.Errorf("chaos: event %d: IntensitySurge with multiplier %v", i, ev.Mult)
+			}
+		case PhaseFlip:
+			// No parameters.
+		case FreqFlap:
+			if ev.Derate <= 0 || ev.Derate > 1 {
+				return fmt.Errorf("chaos: event %d: FreqFlap derate %v outside (0,1]", i, ev.Derate)
+			}
+		case BWSpike:
+			if ev.GBs <= 0 {
+				return fmt.Errorf("chaos: event %d: BWSpike with %v GB/s", i, ev.GBs)
+			}
+		case Burst:
+			if ev.Requests < 1 {
+				return fmt.Errorf("chaos: event %d: Burst with %d requests", i, ev.Requests)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// FirstAt returns the time of the earliest event, or -1 for an empty
+// schedule. Harnesses anchor recovery-time measurement here.
+func (s *Schedule) FirstAt() float64 {
+	first := -1.0
+	for _, ev := range s.Events {
+		if first < 0 || ev.At < first {
+			first = ev.At
+		}
+	}
+	return first
+}
+
+// Target is the set of simulator handles the injector drives. BE may
+// be nil (exclusive runs skip co-runner events).
+type Target struct {
+	M    *machine.Machine
+	BE   *workload.App
+	Scen trace.Scenario
+}
+
+// Applied is one log entry of the injector: an event taking effect or
+// reverting.
+type Applied struct {
+	Now    float64
+	Event  Event
+	Revert bool
+}
+
+func (a Applied) String() string {
+	verb := "inject"
+	if a.Revert {
+		verb = "revert"
+	}
+	return fmt.Sprintf("t=%.3f %s %s", a.Now, verb, a.Event.Kind)
+}
+
+// Injector walks a schedule against a live target. It is single-use:
+// one injector per run.
+type Injector struct {
+	events  []Event // sorted by At
+	reverts []Event // pending auto-reverts, sorted by At
+	tgt     Target
+	gen     *trace.Generator // burst length sampling
+	pos     int
+	applied []Applied
+	burstID int
+}
+
+// NewInjector validates the schedule and binds it to a target.
+func NewInjector(s Schedule, tgt Target) (*Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if tgt.M == nil {
+		return nil, fmt.Errorf("chaos: injector needs a machine")
+	}
+	events := append([]Event(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		events: events,
+		tgt:    tgt,
+		gen:    trace.NewGenerator(tgt.Scen, seed),
+	}, nil
+}
+
+// Applied returns the log of injected and reverted events so far.
+func (in *Injector) Applied() []Applied { return in.applied }
+
+// Done reports whether every event (and revert) has fired.
+func (in *Injector) Done() bool {
+	return in.pos >= len(in.events) && len(in.reverts) == 0
+}
+
+// Advance applies every event whose time has come. submit receives
+// burst arrivals and may be nil when the schedule has no Burst events;
+// injected requests carry negative IDs so they never collide with the
+// scenario stream.
+func (in *Injector) Advance(now float64, submit func(*serve.Request) error) error {
+	for in.pos < len(in.events) && in.events[in.pos].At <= now {
+		ev := in.events[in.pos]
+		in.pos++
+		if err := in.apply(ev, now, submit); err != nil {
+			return err
+		}
+		if ev.Duration > 0 && ev.Kind != Burst {
+			rv := ev
+			rv.At = ev.At + ev.Duration
+			in.reverts = append(in.reverts, rv)
+			sort.SliceStable(in.reverts, func(i, j int) bool { return in.reverts[i].At < in.reverts[j].At })
+		}
+	}
+	for len(in.reverts) > 0 && in.reverts[0].At <= now {
+		rv := in.reverts[0]
+		in.reverts = in.reverts[1:]
+		if err := in.revert(rv, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Injector) apply(ev Event, now float64, submit func(*serve.Request) error) error {
+	switch ev.Kind {
+	case CoreOffline:
+		n := ev.Cores
+		if max := in.tgt.M.Platform().Cores; n > max-1 {
+			n = max - 1 // never offline the whole socket
+		}
+		if err := in.tgt.M.SetOffline(0, n-1); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+	case IntensitySurge:
+		if in.tgt.BE != nil {
+			in.tgt.BE.SetIntensity(ev.Mult)
+		}
+	case PhaseFlip:
+		if in.tgt.BE != nil && !in.tgt.BE.PhaseFlipped() {
+			in.tgt.BE.FlipPhase()
+		}
+	case FreqFlap:
+		in.tgt.M.SetFreqDerate(ev.Derate)
+	case BWSpike:
+		in.tgt.M.SetBWPressure(ev.GBs)
+	case Burst:
+		if submit == nil {
+			return fmt.Errorf("chaos: Burst event at t=%v but no submit sink", ev.At)
+		}
+		for i := 0; i < ev.Requests; i++ {
+			in.burstID++
+			p, o := in.gen.SampleLengths()
+			r := &serve.Request{ID: -in.burstID, Arrival: now, PromptLen: p, OutputLen: o}
+			if err := submit(r); err != nil {
+				return fmt.Errorf("chaos: submitting burst request: %w", err)
+			}
+		}
+	}
+	in.applied = append(in.applied, Applied{Now: now, Event: ev})
+	return nil
+}
+
+func (in *Injector) revert(ev Event, now float64) error {
+	switch ev.Kind {
+	case CoreOffline:
+		in.tgt.M.ClearOffline()
+	case IntensitySurge:
+		if in.tgt.BE != nil {
+			in.tgt.BE.SetIntensity(1)
+		}
+	case PhaseFlip:
+		if in.tgt.BE != nil && in.tgt.BE.PhaseFlipped() {
+			in.tgt.BE.FlipPhase()
+		}
+	case FreqFlap:
+		in.tgt.M.SetFreqDerate(1)
+	case BWSpike:
+		in.tgt.M.SetBWPressure(0)
+	}
+	in.applied = append(in.applied, Applied{Now: now, Event: ev, Revert: true})
+	return nil
+}
+
+// PhaseFlipCoreLoss is the acceptance scenario of the robustness
+// evaluation: at time at, the co-runner flips into its unprofiled
+// phase and the lowest cores cores go offline for outageS seconds.
+// The flip is permanent — recovery must come from the controller
+// adapting, not the fault expiring.
+func PhaseFlipCoreLoss(at float64, cores int, outageS float64) Schedule {
+	return Schedule{
+		Seed: 1,
+		Events: []Event{
+			{At: at, Kind: PhaseFlip},
+			{At: at, Kind: CoreOffline, Cores: cores, Duration: outageS},
+		},
+	}
+}
+
+// Storm is a denser mixed schedule for soak testing: a surge, a
+// bandwidth spike, frequency flapping, a request burst, and a brief
+// core outage spread across the horizon.
+func Storm(startS, spacingS float64, seed uint64) Schedule {
+	t := startS
+	next := func() float64 { v := t; t += spacingS; return v }
+	return Schedule{
+		Seed: seed,
+		Events: []Event{
+			{At: next(), Kind: IntensitySurge, Mult: 2.5, Duration: spacingS * 1.5},
+			{At: next(), Kind: BWSpike, GBs: 60, Duration: spacingS},
+			{At: next(), Kind: FreqFlap, Derate: 0.75, Duration: spacingS},
+			{At: next(), Kind: Burst, Requests: 12},
+			{At: next(), Kind: CoreOffline, Cores: 8, Duration: spacingS},
+		},
+	}
+}

@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"aum/internal/machine"
+	"aum/internal/platform"
+	"aum/internal/serve"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func testTarget() Target {
+	be := workload.SPECjbb()
+	return Target{
+		M:    machine.New(platform.GenA()),
+		BE:   workload.New(be, 3),
+		Scen: trace.Chatbot(),
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []Schedule{
+		{Events: []Event{{At: -1, Kind: PhaseFlip}}},
+		{Events: []Event{{At: 1, Kind: PhaseFlip, Duration: -2}}},
+		{Events: []Event{{At: 1, Kind: CoreOffline, Cores: 0}}},
+		{Events: []Event{{At: 1, Kind: IntensitySurge, Mult: -1}}},
+		{Events: []Event{{At: 1, Kind: FreqFlap, Derate: 1.5}}},
+		{Events: []Event{{At: 1, Kind: BWSpike, GBs: 0}}},
+		{Events: []Event{{At: 1, Kind: Burst, Requests: 0}}},
+		{Events: []Event{{At: 1, Kind: Kind(99)}}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("schedule %d accepted", i)
+		}
+		if _, err := NewInjector(s, testTarget()); err == nil {
+			t.Fatalf("injector accepted bad schedule %d", i)
+		}
+	}
+	good := Storm(10, 5, 7)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.FirstAt(); got != 10 {
+		t.Fatalf("FirstAt = %v, want 10", got)
+	}
+	var empty Schedule
+	if empty.FirstAt() != -1 {
+		t.Fatal("empty schedule should report FirstAt -1")
+	}
+}
+
+func TestInjectorAppliesAndReverts(t *testing.T) {
+	tgt := testTarget()
+	s := Schedule{Events: []Event{
+		{At: 1, Kind: CoreOffline, Cores: 4, Duration: 2},
+		{At: 1.5, Kind: PhaseFlip},
+		{At: 2, Kind: FreqFlap, Derate: 0.8, Duration: 1},
+		{At: 2, Kind: BWSpike, GBs: 50, Duration: 1},
+		{At: 2.5, Kind: IntensitySurge, Mult: 3, Duration: 0.5},
+	}}
+	in, err := NewInjector(s, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(now float64) {
+		if err := in.Advance(now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(0.5)
+	if _, _, off := tgt.M.OfflineRange(); off {
+		t.Fatal("cores offline before the event")
+	}
+	step(1)
+	if lo, hi, off := tgt.M.OfflineRange(); !off || lo != 0 || hi != 3 {
+		t.Fatalf("offline range = %d..%d (%v), want 0..3", lo, hi, off)
+	}
+	step(1.5)
+	if !tgt.BE.PhaseFlipped() {
+		t.Fatal("phase not flipped")
+	}
+	step(2.6)
+	if tgt.BE.Intensity() != 3 {
+		t.Fatal("surge not applied")
+	}
+	// t=3: core restore (1+2) and surge revert (2.5+0.5) are due; the
+	// freq/bw reverts (2+1) too.
+	step(3)
+	if _, _, off := tgt.M.OfflineRange(); off {
+		t.Fatal("cores not restored")
+	}
+	if tgt.BE.Intensity() != 1 {
+		t.Fatal("surge not reverted")
+	}
+	if !tgt.BE.PhaseFlipped() {
+		t.Fatal("permanent phase flip reverted")
+	}
+	if !in.Done() {
+		t.Fatal("injector not done after all events")
+	}
+	// The log pairs every bounded event with its revert.
+	var injects, reverts int
+	for _, a := range in.Applied() {
+		if a.Revert {
+			reverts++
+		} else {
+			injects++
+		}
+		if a.String() == "" {
+			t.Fatal("empty log entry")
+		}
+	}
+	if injects != 5 || reverts != 4 {
+		t.Fatalf("log: %d injects, %d reverts (want 5/4)", injects, reverts)
+	}
+}
+
+func TestBurstSubmitsDeterministically(t *testing.T) {
+	run := func() []*serve.Request {
+		s := Schedule{Seed: 11, Events: []Event{{At: 2, Kind: Burst, Requests: 6}}}
+		in, err := NewInjector(s, testTarget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*serve.Request
+		submit := func(r *serve.Request) error { got = append(got, r); return nil }
+		if err := in.Advance(2, submit); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("burst sizes: %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID >= 0 {
+			t.Fatalf("burst request %d has non-negative ID %d", i, a[i].ID)
+		}
+		if a[i].PromptLen != b[i].PromptLen || a[i].OutputLen != b[i].OutputLen {
+			t.Fatal("same-seed bursts diverged")
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A burst with no sink is an error, not a silent drop.
+	s := Schedule{Events: []Event{{At: 0, Kind: Burst, Requests: 1}}}
+	in, _ := NewInjector(s, testTarget())
+	if err := in.Advance(0, nil); err == nil {
+		t.Fatal("burst without sink accepted")
+	}
+}
+
+func TestInjectorWithoutBE(t *testing.T) {
+	// Co-runner events on an exclusive run are no-ops, not panics.
+	tgt := testTarget()
+	tgt.BE = nil
+	s := Schedule{Events: []Event{
+		{At: 1, Kind: PhaseFlip},
+		{At: 1, Kind: IntensitySurge, Mult: 2, Duration: 1},
+	}}
+	in, err := NewInjector(s, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Advance(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Done() {
+		t.Fatal("injector not done")
+	}
+}
+
+func TestCoreOfflineNeverKillsWholeSocket(t *testing.T) {
+	tgt := testTarget()
+	s := Schedule{Events: []Event{{At: 0, Kind: CoreOffline, Cores: 10_000}}}
+	in, err := NewInjector(s, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Advance(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, off := tgt.M.OfflineRange()
+	if !off || lo != 0 || hi != tgt.M.Platform().Cores-2 {
+		t.Fatalf("offline range %d..%d, want one core left", lo, hi)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := CoreOffline; k <= Burst; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d unnamed", int(k))
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("out-of-range kind formatting")
+	}
+}

@@ -9,6 +9,7 @@ package colo
 import (
 	"fmt"
 
+	"aum/internal/chaos"
 	"aum/internal/llm"
 	"aum/internal/machine"
 	"aum/internal/metrics"
@@ -101,6 +102,14 @@ type Config struct {
 	// TrackAlloc records the co-runner's way/MBA allocation at every
 	// control tick (Figure 18).
 	TrackAlloc bool
+
+	// Chaos, when set, injects the fault schedule into the run and
+	// turns on SLO violation-window tracking in the Result.
+	Chaos *chaos.Schedule
+
+	// Admission is the serving engine's overload policy (zero value =
+	// the paper's unbounded scheduler).
+	Admission serve.Admission
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +179,114 @@ type Result struct {
 	Alloc []AllocSample
 
 	Prices metrics.Prices
+
+	// Robustness accounting (populated when Config.Chaos is set; the
+	// admission counters are post-warmup deltas and filled regardless).
+	ChaosEvents []chaos.Applied   // injected faults and their reverts
+	Violations  []ViolationWindow // contiguous spans of SLO violation
+	ViolationS  float64           // violated seconds after the first fault
+	// RecoveryS is the time from the first fault to the end of the
+	// last violation window — how long the system took to re-enter
+	// sustained SLO compliance. -1 when it never recovered (or no
+	// chaos was injected); Recovered distinguishes the two.
+	RecoveryS float64
+	Recovered bool
+
+	Rejected       int // requests shed at admission
+	TimedOut       int // requests dropped past their queue deadline
+	BacklogDropped int // prefilled requests shed at the decode backlog
+}
+
+// ViolationWindow is one contiguous span of measured SLO violation.
+type ViolationWindow struct {
+	Start, End float64
+}
+
+// violationMonitor samples the engine at a fixed cadence and merges
+// violated samples into windows. Violation is judged on the *interval*
+// — the mean TTFT/TPOT of completions since the previous sample, with
+// the soft margins the controller uses (1.3x TTFT, 1.1x TPOT) — plus
+// the head-of-line wait, which catches a stalled queue that completes
+// nothing at all. Interval deltas, not the engine's sliding-window
+// tails, because those windows span thousands of samples and would
+// keep reporting an incident long after behaviour recovered.
+//
+// Both edges are debounced by one sample: a window opens only after two
+// consecutive violated samples (backdated to the first) and closes only
+// after two consecutive compliant ones (ended at the first). A single
+// slow completion or one clean interval mid-incident is measurement
+// noise, not a state change.
+type violationMonitor struct {
+	slo      serve.SLO
+	interval float64
+	nextAt   float64
+	openAt   float64 // start of the current violated span, -1 when none
+	windows  []ViolationWindow
+	vStreak  int     // consecutive violated samples while no window is open
+	cStreak  int     // consecutive compliant samples while a window is open
+	edgeAt   float64 // time of the first sample of the current streak
+
+	prevReq     int
+	prevTTFTSum float64
+	prevTok     float64
+	prevTPOTSum float64
+}
+
+func newViolationMonitor(slo serve.SLO, startAt float64) *violationMonitor {
+	return &violationMonitor{slo: slo, interval: 0.25, nextAt: startAt, openAt: -1}
+}
+
+func (v *violationMonitor) observe(now, headWait float64, st *serve.Stats) {
+	if now < v.nextAt {
+		return
+	}
+	v.nextAt += v.interval
+	dReq := st.PrefillRequests - v.prevReq
+	dTTFT := st.TTFTSum - v.prevTTFTSum
+	dTok := st.DecodeTokens - v.prevTok
+	dTPOT := st.TPOTSum - v.prevTPOTSum
+	v.prevReq, v.prevTTFTSum = st.PrefillRequests, st.TTFTSum
+	v.prevTok, v.prevTPOTSum = st.DecodeTokens, st.TPOTSum
+
+	violated := headWait > v.slo.TTFT*1.3 ||
+		(dReq > 0 && dTTFT/float64(dReq) > v.slo.TTFT*1.3) ||
+		(dTok > 0 && dTPOT/dTok > v.slo.TPOT*1.1)
+	if v.openAt < 0 {
+		if !violated {
+			v.vStreak = 0
+			return
+		}
+		if v.vStreak == 0 {
+			v.edgeAt = now
+		}
+		if v.vStreak++; v.vStreak >= 2 {
+			v.openAt = v.edgeAt
+			v.vStreak, v.cStreak = 0, 0
+		}
+		return
+	}
+	if violated {
+		v.cStreak = 0
+		return
+	}
+	if v.cStreak == 0 {
+		v.edgeAt = now
+	}
+	if v.cStreak++; v.cStreak >= 2 {
+		v.windows = append(v.windows, ViolationWindow{Start: v.openAt, End: v.edgeAt})
+		v.openAt = -1
+		v.vStreak, v.cStreak = 0, 0
+	}
+}
+
+// finish closes any open window at the horizon and returns the list.
+// stillOpen reports whether the run ended mid-violation.
+func (v *violationMonitor) finish(horizon float64) (windows []ViolationWindow, stillOpen bool) {
+	if v.openAt >= 0 {
+		v.windows = append(v.windows, ViolationWindow{Start: v.openAt, End: horizon})
+		return v.windows, true
+	}
+	return v.windows, false
 }
 
 // Run executes one co-location experiment.
@@ -179,7 +296,7 @@ func Run(cfg Config) (Result, error) {
 	mon := perfmon.NewMonitor(0)
 	mon.Attach(m)
 
-	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO})
+	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO, Admission: cfg.Admission})
 	var emit func(now, dt float64) []*serve.Request
 	if cfg.Trace != nil {
 		emit = trace.NewReplayer(cfg.Trace).Emit
@@ -211,6 +328,16 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("colo: %s setup did not place the LLM workers", cfg.Manager.Name())
 	}
 
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		var err error
+		inj, err = chaos.NewInjector(*cfg.Chaos, chaos.Target{M: m, BE: env.BEApp, Scen: cfg.Scen})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sloMon := newViolationMonitor(cfg.Scen.SLO, cfg.WarmupS)
+
 	interval := cfg.Manager.Interval()
 	nextTick := interval
 	var alloc []AllocSample
@@ -236,6 +363,14 @@ func Run(cfg Config) (Result, error) {
 			if err := eng.Submit(r); err != nil {
 				return Result{}, err
 			}
+		}
+		if inj != nil {
+			if err := inj.Advance(now, eng.Submit); err != nil {
+				return Result{}, err
+			}
+		}
+		if now >= sloMon.nextAt {
+			sloMon.observe(now, eng.HeadWait(now), eng.Stats())
 		}
 		if interval > 0 && now >= nextTick {
 			if err := cfg.Manager.Tick(env, now); err != nil {
@@ -323,6 +458,35 @@ func Run(cfg Config) (Result, error) {
 
 		Alloc:  alloc,
 		Prices: prices,
+
+		Rejected:       st.Rejected - baseStats.Rejected,
+		TimedOut:       st.TimedOut - baseStats.TimedOut,
+		BacklogDropped: st.BacklogDropped - baseStats.BacklogDropped,
+		RecoveryS:      -1,
+	}
+	windows, stillOpen := sloMon.finish(m.Now())
+	res.Violations = windows
+	if inj != nil {
+		res.ChaosEvents = inj.Applied()
+		if eventAt := cfg.Chaos.FirstAt(); eventAt >= 0 {
+			// Violated seconds attributable to the incident: window
+			// overlap with [first fault, horizon].
+			last := 0.0
+			for _, w := range windows {
+				if w.End <= eventAt {
+					continue
+				}
+				start := w.Start
+				if start < eventAt {
+					start = eventAt
+				}
+				res.ViolationS += w.End - start
+				last = w.End - eventAt
+			}
+			if res.Recovered = !stillOpen; res.Recovered {
+				res.RecoveryS = last
+			}
+		}
 	}
 	return res, nil
 }

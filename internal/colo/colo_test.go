@@ -4,9 +4,11 @@ import (
 	"errors"
 	"testing"
 
+	"aum/internal/chaos"
 	"aum/internal/llm"
 	"aum/internal/machine"
 	"aum/internal/platform"
+	"aum/internal/serve"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -206,5 +208,115 @@ func TestTraceReplayPinsInputs(t *testing.T) {
 	}
 	if a.RawPerfL <= 0 {
 		t.Fatal("replayed run produced nothing")
+	}
+}
+
+func TestChaosRunLogsEventsDeterministically(t *testing.T) {
+	run := func() Result {
+		jbb := workload.SPECjbb()
+		cfg := baseConfig()
+		cfg.Manager = sharedMgr{}
+		cfg.BE = &jbb
+		sched := chaos.Schedule{Seed: 5, Events: []chaos.Event{
+			{At: 3, Kind: chaos.IntensitySurge, Mult: 2, Duration: 2},
+			{At: 4, Kind: chaos.Burst, Requests: 5},
+			{At: 5, Kind: chaos.CoreOffline, Cores: 4, Duration: 2},
+		}}
+		cfg.Chaos = &sched
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	// 3 injections + 2 reverts (the burst is instantaneous).
+	if len(a.ChaosEvents) != 5 {
+		t.Fatalf("chaos log has %d entries, want 5: %v", len(a.ChaosEvents), a.ChaosEvents)
+	}
+	for _, ev := range a.ChaosEvents {
+		if ev.Now < ev.Event.At {
+			t.Fatalf("event applied before schedule: %+v", ev)
+		}
+	}
+	b := run()
+	if a.RawPerfL != b.RawPerfL || a.ViolationS != b.ViolationS || len(a.Violations) != len(b.Violations) {
+		t.Fatal("same-seed chaos runs diverged")
+	}
+}
+
+func TestNoChaosLeavesRobustnessFieldsZero(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChaosEvents != nil || res.ViolationS != 0 || res.Recovered {
+		t.Fatalf("robustness fields populated without chaos: %+v", res)
+	}
+	if res.RecoveryS != -1 {
+		t.Fatalf("RecoveryS = %v, want -1 sentinel", res.RecoveryS)
+	}
+}
+
+func TestAdmissionReachesEngine(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Admission = serve.Admission{MaxQueue: 1}
+	cfg.HorizonS = 8
+	cfg.RatePerS = 50 // far beyond capacity: the queue bound must shed
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("overloaded run with MaxQueue=1 shed nothing")
+	}
+}
+
+func TestViolationMonitorWindows(t *testing.T) {
+	slo := serve.SLO{TTFT: 0.1, TPOT: 0.05}
+	mon := newViolationMonitor(slo, 0)
+	st := &serve.Stats{}
+	// t=0: one fast completion — compliant.
+	st.PrefillRequests, st.TTFTSum = 1, 0.05
+	mon.observe(0.0, 0, st)
+	// t=0.3: one slow completion (interval mean 1.0 s) — first
+	// violated sample; debounce holds the window shut.
+	st.PrefillRequests, st.TTFTSum = 2, 1.05
+	mon.observe(0.3, 0, st)
+	// t=0.6: nothing completed and the head has waited too long —
+	// second violated sample, the window opens backdated to 0.3.
+	mon.observe(0.6, 1.0, st)
+	// t=0.9: slow decode tokens keep it open.
+	st.DecodeTokens, st.TPOTSum = 10, 2.0
+	mon.observe(0.9, 0, st)
+	// t=1.2: one clean sample mid-incident — debounced, still open.
+	st.PrefillRequests, st.TTFTSum = 3, 1.10
+	st.DecodeTokens, st.TPOTSum = 20, 2.1
+	mon.observe(1.2, 0, st)
+	// t=1.5: second clean sample — window closes at 1.2.
+	st.PrefillRequests, st.TTFTSum = 4, 1.15
+	mon.observe(1.5, 0, st)
+	windows, open := mon.finish(1.8)
+	if open {
+		t.Fatal("window left open after recovery")
+	}
+	if len(windows) != 1 || windows[0].Start != 0.3 || windows[0].End != 1.2 {
+		t.Fatalf("windows = %+v", windows)
+	}
+	// A single violated blip between compliant samples never opens.
+	mon3 := newViolationMonitor(slo, 0)
+	mon3.observe(0, 0, &serve.Stats{})
+	mon3.observe(0.3, 1.0, &serve.Stats{})
+	mon3.observe(0.6, 0, &serve.Stats{})
+	if w3, open3 := mon3.finish(1); open3 || len(w3) != 0 {
+		t.Fatalf("single blip opened a window: %+v", w3)
+	}
+	// A run ending mid-violation reports the open window.
+	mon2 := newViolationMonitor(slo, 0)
+	mon2.observe(0, 1.0, &serve.Stats{})
+	mon2.observe(0.3, 1.0, &serve.Stats{})
+	w2, open2 := mon2.finish(0.6)
+	if !open2 || len(w2) != 1 || w2[0].Start != 0 || w2[0].End != 0.6 {
+		t.Fatalf("open window mishandled: %+v open=%v", w2, open2)
 	}
 }

@@ -72,8 +72,15 @@ func (m *Model) Validate() error {
 			len(m.Buckets), len(m.Divisions)*len(m.Configs))
 	}
 	for i, b := range m.Buckets {
-		if b.Watts <= 0 {
-			return fmt.Errorf("core: bucket %d has non-positive power", i)
+		switch {
+		case b.Watts <= 0:
+			return fmt.Errorf("core: bucket %d: watts %v <= 0", i, b.Watts)
+		case b.ThrH < 0 || b.ThrL < 0 || b.ThrN < 0:
+			return fmt.Errorf("core: bucket %d: negative throughput (thr_h=%v thr_l=%v thr_n=%v)",
+				i, b.ThrH, b.ThrL, b.ThrN)
+		case b.TTFTAvg < 0 || b.TTFTTail < 0 || b.TPOTAvg < 0 || b.TPOTTail < 0:
+			return fmt.Errorf("core: bucket %d: negative latency (ttft_avg=%v ttft_tail=%v tpot_avg=%v tpot_tail=%v)",
+				i, b.TTFTAvg, b.TTFTTail, b.TPOTAvg, b.TPOTTail)
 		}
 	}
 	return nil
@@ -137,7 +144,9 @@ func (m *Model) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadModel reads a model written by Save.
+// LoadModel reads a model written by Save. A corrupted or truncated
+// file yields an error naming the path (and, for semantic damage, the
+// offending bucket and field) instead of a zero-valued model.
 func LoadModel(path string) (*Model, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -145,10 +154,10 @@ func LoadModel(path string) (*Model, error) {
 	}
 	var m Model
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("core: decoding AUV model: %w", err)
+		return nil, fmt.Errorf("core: decoding AUV model %s: %w", path, err)
 	}
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: AUV model %s: %w", path, err)
 	}
 	return &m, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"aum/internal/colo"
 	"aum/internal/machine"
@@ -24,6 +25,23 @@ type Options struct {
 	// switcher evaluations (division moves are coarse; default 20,
 	// i.e. once per second).
 	DivisionTicks int
+	// Watchdog enables the SLO watchdog: after WatchdogN consecutive
+	// control intervals of violation it abandons fine-grained tuning,
+	// falls back to the AU-exclusive safe division with the co-runner at
+	// its floor allocation, and holds there — re-probing normal control
+	// with exponentially growing hold periods until measurements
+	// recover. Off by default: the watchdog deliberately trades
+	// co-runner throughput for SLO recovery, and on scenarios whose SLO
+	// is structurally infeasible (the paper's cc scenario) it would
+	// otherwise pin the machine in safe mode forever.
+	Watchdog bool
+	// WatchdogN is the violation streak that trips the watchdog
+	// (default 4 intervals, i.e. 200 ms at the default period).
+	WatchdogN int
+	// WatchdogHoldTicks is the initial safe-mode hold, in control
+	// intervals (default 20, i.e. 1 s). Each unsuccessful re-probe
+	// doubles the hold, capped at 16x.
+	WatchdogHoldTicks int
 	// OnlineRefine enables continuous refinement of the AUV model from
 	// runtime measurements — the extension Section VII-D names as the
 	// prototype's limitation ("reliance on runtime controlling rather
@@ -56,6 +74,12 @@ func (o Options) withDefaults() Options {
 	if o.RefineAlpha == 0 {
 		o.RefineAlpha = 0.05
 	}
+	if o.WatchdogN == 0 {
+		o.WatchdogN = 4
+	}
+	if o.WatchdogHoldTicks == 0 {
+		o.WatchdogHoldTicks = 20
+	}
 	return o
 }
 
@@ -80,9 +104,42 @@ type AUM struct {
 	ReturnSteps  int
 	RefineSteps  int
 
+	// Watchdog state, guarded by mu so WatchdogState can be read
+	// concurrently with a running Tick.
+	mu           sync.Mutex
+	wdActive     bool
+	wdViolations int // consecutive violating intervals while armed
+	wdHold       int // safe-mode ticks remaining before a re-probe
+	wdBackoff    int // current hold length, doubling per failed re-probe
+	wdTrips      int
+
 	// Interval measurement state for online refinement.
 	lastBEWork float64
 	lastNow    float64
+}
+
+// WatchdogState is a snapshot of the SLO watchdog.
+type WatchdogState struct {
+	// Active reports whether the controller is parked in the safe
+	// division with the co-runner floored.
+	Active bool
+	// Trips counts how many times the watchdog has engaged.
+	Trips int
+	// Violations is the current consecutive-violation streak while
+	// armed (reset on any compliant interval).
+	Violations int
+	// HoldRemaining is how many control intervals remain before the
+	// watchdog re-probes normal control.
+	HoldRemaining int
+}
+
+// WatchdogState returns a snapshot of the watchdog. Safe to call from
+// another goroutine while the controller ticks.
+func (a *AUM) WatchdogState() WatchdogState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return WatchdogState{Active: a.wdActive, Trips: a.wdTrips,
+		Violations: a.wdViolations, HoldRemaining: a.wdHold}
 }
 
 // NewAUM builds the controller from a profiled model.
@@ -90,7 +147,8 @@ func NewAUM(model *Model, opt Options) (*AUM, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &AUM{model: model, opt: opt.withDefaults()}, nil
+	opt = opt.withDefaults()
+	return &AUM{model: model, opt: opt, wdBackoff: opt.WatchdogHoldTicks}, nil
 }
 
 // Name implements colo.Manager.
@@ -263,6 +321,18 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 	}
 	a.LastDelta = delta
 
+	// Graceful degradation: sustained violation hands control to the
+	// watchdog, which parks the machine in the safe division until
+	// measurements recover. While it holds, the normal harvest/return
+	// tuner is suspended — oscillating the co-runner's grant during an
+	// incident only prolongs it.
+	if a.opt.Watchdog {
+		engaged, err := a.watchdog(e, meets)
+		if engaged || err != nil {
+			return err
+		}
+	}
+
 	if a.tick%a.opt.DivisionTicks == 0 || (!meets && delta > a.opt.DeltaThreshold) {
 		// Division feasibility is judged against the *scenario* SLOs:
 		// the wait-shrunk runtime slack drives the fine-grained tuner,
@@ -326,6 +396,64 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 	}
 	a.boundAllocation(e)
 	return a.applyAllocation(e)
+}
+
+// watchdog runs the SLO watchdog state machine for one control
+// interval. It returns engaged=true when safe mode owns the machine
+// this tick and the caller must skip normal division/allocation
+// control.
+//
+// Armed: WatchdogN consecutive violating intervals trip it — the
+// controller switches to division 0 (the AU-heavy safe division, most
+// protective of the LLM), floors the co-runner at 1 way / 10% MBA, and
+// holds for wdBackoff intervals. After the hold it re-probes: a
+// compliant interval releases control back to Algorithm 1 with the
+// backoff reset, a violating one doubles the hold (capped at 16x) and
+// keeps the machine parked. The exponential backoff prevents flapping
+// between safe mode and an allocation that immediately re-violates.
+func (a *AUM) watchdog(e *colo.Env, meets bool) (engaged bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.wdActive {
+		if meets {
+			a.wdViolations = 0
+			return false, nil
+		}
+		a.wdViolations++
+		if a.wdViolations < a.opt.WatchdogN {
+			return false, nil
+		}
+		// Trip: safe division, co-runner floored.
+		a.wdActive = true
+		a.wdHold = a.wdBackoff
+		a.wdTrips++
+		if a.curDiv != 0 {
+			if err := a.switchDivision(e, 0); err != nil {
+				return true, err
+			}
+		}
+		a.beWays, a.beMBA = 1, 10
+		a.boundAllocation(e)
+		return true, a.applyAllocation(e)
+	}
+	if a.wdHold > 0 {
+		a.wdHold--
+		return true, nil
+	}
+	if meets {
+		// Recovered: resume normal control immediately (this tick).
+		a.wdActive = false
+		a.wdViolations = 0
+		a.wdBackoff = a.opt.WatchdogHoldTicks
+		return false, nil
+	}
+	// Still violating after the hold: back off exponentially.
+	a.wdBackoff *= 2
+	if max := 16 * a.opt.WatchdogHoldTicks; a.wdBackoff > max {
+		a.wdBackoff = max
+	}
+	a.wdHold = a.wdBackoff
+	return true, nil
 }
 
 // refine blends runtime measurements into the bucket the controller is

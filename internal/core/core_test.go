@@ -3,11 +3,15 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"aum/internal/colo"
 	"aum/internal/llm"
+	"aum/internal/machine"
 	"aum/internal/platform"
+	"aum/internal/rdt"
+	"aum/internal/serve"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -243,5 +247,190 @@ func TestOptionDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.Alpha != 1.8 || o.Beta != 0.2 || o.DeltaThreshold != 2 || o.IntervalS != 0.05 {
 		t.Fatalf("defaults diverge from Section VII-A1: %+v", o)
+	}
+}
+
+// watchdogEnv builds a minimal live Env (machine + placed workers) so
+// the watchdog's division switches and RDT programming run for real.
+func watchdogEnv(t *testing.T, a *AUM) *colo.Env {
+	t.Helper()
+	plat := platform.GenA()
+	m := machine.New(plat)
+	env := &colo.Env{
+		Plat:   plat,
+		M:      m,
+		RDT:    rdt.New(m),
+		Engine: serve.NewEngine(serve.Config{Model: llm.Llama2_7B(), SLO: trace.Chatbot().SLO}),
+		Scen:   trace.Chatbot(),
+	}
+	if err := a.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestWatchdogTripHoldBackoffRecover(t *testing.T) {
+	m := smallProfile(t)
+	aum, err := NewAUM(m, Options{Watchdog: true, WatchdogN: 3, WatchdogHoldTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := watchdogEnv(t, aum)
+
+	step := func(meets bool) bool {
+		engaged, err := aum.watchdog(env, meets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engaged
+	}
+
+	// Two violating intervals arm but do not trip.
+	if step(false) || step(false) {
+		t.Fatal("watchdog tripped before the streak threshold")
+	}
+	if ws := aum.WatchdogState(); ws.Active || ws.Violations != 2 {
+		t.Fatalf("pre-trip state: %+v", ws)
+	}
+	// A compliant interval resets the streak.
+	step(true)
+	if ws := aum.WatchdogState(); ws.Violations != 0 {
+		t.Fatalf("streak not reset: %+v", ws)
+	}
+
+	// Three consecutive violations trip it: safe division, floored grant.
+	step(false)
+	step(false)
+	if !step(false) {
+		t.Fatal("watchdog did not trip at the threshold")
+	}
+	ws := aum.WatchdogState()
+	if !ws.Active || ws.Trips != 1 || ws.HoldRemaining != 2 {
+		t.Fatalf("post-trip state: %+v", ws)
+	}
+	if aum.Division() != 0 {
+		t.Fatalf("division = %d, want the safe division 0", aum.Division())
+	}
+	if w, b := aum.Allocation(); w != 1 || b != 10 {
+		t.Fatalf("allocation = (%d,%d), want the (1,10) floor", w, b)
+	}
+
+	// The hold keeps the machine parked regardless of measurements.
+	if !step(true) || !step(true) {
+		t.Fatal("watchdog released during the hold")
+	}
+	// Hold expired but still violating: back off exponentially.
+	if !step(false) {
+		t.Fatal("watchdog released while still violating")
+	}
+	if ws := aum.WatchdogState(); ws.HoldRemaining != 4 {
+		t.Fatalf("backoff hold = %d, want doubled to 4", ws.HoldRemaining)
+	}
+	for i := 0; i < 4; i++ {
+		step(false)
+	}
+	// Recovery after the hold releases control and resets the backoff.
+	if step(true) {
+		t.Fatal("watchdog held after recovery")
+	}
+	ws = aum.WatchdogState()
+	if ws.Active || ws.Violations != 0 {
+		t.Fatalf("post-recovery state: %+v", ws)
+	}
+	// A fresh trip starts from the base hold again.
+	step(false)
+	step(false)
+	step(false)
+	if ws := aum.WatchdogState(); ws.HoldRemaining != 2 || ws.Trips != 2 {
+		t.Fatalf("backoff not reset after recovery: %+v", ws)
+	}
+}
+
+func TestWatchdogBackoffCap(t *testing.T) {
+	m := smallProfile(t)
+	aum, err := NewAUM(m, Options{Watchdog: true, WatchdogN: 1, WatchdogHoldTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := watchdogEnv(t, aum)
+	// Never recover: the hold must saturate at 16x the base.
+	for i := 0; i < 500; i++ {
+		if _, err := aum.watchdog(env, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ws := aum.WatchdogState(); ws.HoldRemaining > 32 {
+		t.Fatalf("hold %d exceeds the 16x cap", ws.HoldRemaining)
+	}
+}
+
+func TestWatchdogStateConcurrentRead(t *testing.T) {
+	m := smallProfile(t)
+	aum, err := NewAUM(m, Options{Watchdog: true, WatchdogN: 1, WatchdogHoldTicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := watchdogEnv(t, aum)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			aum.WatchdogState()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := aum.watchdog(env, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestWatchdogOffByDefault(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Watchdog {
+		t.Fatal("watchdog must be opt-in")
+	}
+	if o.WatchdogN != 4 || o.WatchdogHoldTicks != 20 {
+		t.Fatalf("watchdog defaults: %+v", o)
+	}
+}
+
+func TestLoadModelCorruptionDiagnostics(t *testing.T) {
+	m := smallProfile(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "auv.json")
+	if err := m.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated JSON: the error names the file.
+	data, _ := os.ReadFile(good)
+	trunc := filepath.Join(dir, "trunc.json")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(trunc); err == nil || !strings.Contains(err.Error(), "trunc.json") {
+		t.Fatalf("truncated-file error lacks path: %v", err)
+	}
+	// Semantically corrupt: a zeroed bucket is named with its field.
+	bad := *m
+	bad.Buckets = append([]Bucket(nil), m.Buckets...)
+	bad.Buckets[3].Watts = 0
+	badPath := filepath.Join(dir, "bad.json")
+	if err := bad.Save(badPath); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModel(badPath)
+	if err == nil || !strings.Contains(err.Error(), "bucket 3") || !strings.Contains(err.Error(), "watts") {
+		t.Fatalf("corrupt-bucket error lacks bucket/field: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("corrupt-bucket error lacks path: %v", err)
+	}
+	// Negative latency is caught too.
+	bad.Buckets[3].Watts = m.Buckets[3].Watts
+	bad.Buckets[5].TPOTTail = -1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "tpot_tail") {
+		t.Fatalf("negative-latency error: %v", err)
 	}
 }

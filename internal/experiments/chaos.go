@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"aum/internal/chaos"
+	"aum/internal/colo"
+	"aum/internal/core"
+	"aum/internal/llm"
+	"aum/internal/manager"
+	"aum/internal/platform"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "chaos", Paper: "robustness", Title: "Graceful degradation under injected faults (co-runner phase flip + core loss)", Run: runChaos})
+}
+
+// ChaosSchedule is the canonical robustness fault plan: at mid-horizon
+// the co-runner permanently flips into its unprofiled memory-hungry
+// phase and the lowest 48 cores — the entire prefill region — drop out
+// for a sixth of the horizon. Recovery from the flip must come from
+// the controller adapting; the outage piles up a prefill backlog whose
+// drain rate separates the controllers once the cores return.
+func ChaosSchedule(horizonS float64) chaos.Schedule {
+	return chaos.PhaseFlipCoreLoss(horizonS/2, 48, horizonS/6)
+}
+
+// runChaos compares AUM with and without the SLO watchdog, plus the
+// sharing baselines, under the canonical fault schedule. Runs bypass
+// the lab's result cache on purpose: chaos is not part of the cache
+// key, and these runs must never be conflated with the clean-run
+// matrix behind Figures 14-18.
+func runChaos(l *Lab, o Options) (*Table, error) {
+	plat := platform.GenA()
+	model := llm.Llama2_7B()
+	scen := trace.Chatbot()
+	jbb := workload.SPECjbb()
+	o = o.withDefaults()
+	horizon, _, _ := o.horizons()
+	sched := ChaosSchedule(horizon)
+
+	auv, err := l.Model(plat, model, scen, jbb, o)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []struct {
+		label string
+		build func() (colo.Manager, error)
+	}{
+		{"AUM+wd", func() (colo.Manager, error) { return core.NewAUM(auv, core.Options{Watchdog: true}) }},
+		{"AUM", func() (colo.Manager, error) { return core.NewAUM(auv, core.Options{}) }},
+		{"RP-AU", func() (colo.Manager, error) { return &manager.RPAU{}, nil }},
+		{"SMT-AU", func() (colo.Manager, error) { return manager.SMTAU{}, nil }},
+	}
+
+	t := &Table{ID: "chaos", Title: "SLO violation and recovery under faults (flip + core loss at t=" + formatValue(horizon/2) + "s)",
+		Columns: []string{"violS", "recoveryS", "recovered", "goodput", "sharedKops", "rejected"}}
+	for _, s := range schemes {
+		mgr, err := s.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := colo.Run(colo.Config{
+			Plat: plat, Model: model, Scen: scen, BE: &jbb,
+			Manager: mgr, HorizonS: horizon, Seed: o.Seed, Chaos: &sched,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recovered := 0.0
+		if res.Recovered {
+			recovered = 1
+		}
+		t.AddRow(s.label, res.ViolationS, res.RecoveryS, recovered,
+			res.GoodTokensPS, res.PerfN/1e3, float64(res.Rejected))
+	}
+	t.AddNote("watchdog: a sustained violation streak trips fallback to the AU-exclusive division with the co-runner floored; re-probes with exponential backoff")
+	t.AddNote("recoveryS = time from first fault to the end of the last violation window (-1 = never recovered)")
+	return t, nil
+}

@@ -239,6 +239,13 @@ type Machine struct {
 	cos     []COSConfig
 	energyJ float64
 
+	// Fault-injection state (see internal/chaos): an offline core
+	// range, a frequency derate standing in for license flapping, and
+	// reserved link bandwidth standing in for uncontrolled DRAM traffic.
+	offLo, offHi int // offline physical cores [offLo, offHi]; offHi < offLo when none
+	freqDerate   float64
+	bwPressure   float64
+
 	lastWatts    float64
 	lastLinkUtil float64
 	sampler      func(Sample)
@@ -252,9 +259,12 @@ const NumCOS = 8
 // initially unrestricted.
 func New(p platform.Platform) *Machine {
 	m := &Machine{
-		plat: p,
-		gov:  power.NewGovernor(p),
-		cos:  make([]COSConfig, NumCOS),
+		plat:       p,
+		gov:        power.NewGovernor(p),
+		cos:        make([]COSConfig, NumCOS),
+		offLo:      0,
+		offHi:      -1,
+		freqDerate: 1,
 	}
 	for i := range m.cos {
 		m.cos[i] = COSConfig{Ways: cache.Mask{Lo: 0, Hi: p.LLC.Ways - 1}, MBAFrac: 1}
@@ -384,6 +394,73 @@ func (m *Machine) ResetStats(id TaskID) {
 	}
 }
 
+// SetOffline marks the physical cores [lo, hi] offline: tasks keep
+// their placements but execute only on their remaining online cores (a
+// task fully inside the range stalls). This models hot-unplug or
+// kernel isolation of a failing core cluster.
+func (m *Machine) SetOffline(lo, hi int) error {
+	if lo < 0 || hi >= m.plat.Cores || hi < lo {
+		return fmt.Errorf("machine: offline range [%d,%d] outside 0..%d", lo, hi, m.plat.Cores-1)
+	}
+	m.offLo, m.offHi = lo, hi
+	return nil
+}
+
+// ClearOffline restores all cores.
+func (m *Machine) ClearOffline() { m.offLo, m.offHi = 0, -1 }
+
+// OfflineRange returns the current offline core range, if any.
+func (m *Machine) OfflineRange() (lo, hi int, ok bool) {
+	if m.offHi < m.offLo {
+		return 0, 0, false
+	}
+	return m.offLo, m.offHi, true
+}
+
+// effCores returns how many of a placement's cores are online.
+func (m *Machine) effCores(p Placement) int {
+	n := p.Cores()
+	if n == 0 || m.offHi < m.offLo {
+		return n
+	}
+	lo := p.CoreLo
+	if lo < m.offLo {
+		lo = m.offLo
+	}
+	hi := p.CoreHi
+	if hi > m.offHi {
+		hi = m.offHi
+	}
+	if hi >= lo {
+		n -= hi - lo + 1
+	}
+	return n
+}
+
+// SetFreqDerate scales every solved region frequency by f in (0, 1] —
+// the stand-in for frequency-license flapping, where transient license
+// re-grants cap all regions below their class frequency.
+func (m *Machine) SetFreqDerate(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	m.freqDerate = f
+}
+
+// SetBWPressure reserves gbs of the memory link for uncontrolled
+// traffic outside any class of service (a saturation spike from an
+// unmanaged agent), shrinking what the arbitrated tasks share and
+// inflating link congestion.
+func (m *Machine) SetBWPressure(gbs float64) {
+	if gbs < 0 {
+		gbs = 0
+	}
+	if gbs > m.plat.MemBWGBs {
+		gbs = m.plat.MemBWGBs
+	}
+	m.bwPressure = gbs
+}
+
 func (m *Machine) find(id TaskID) *task {
 	for _, t := range m.tasks {
 		if t.id == id {
@@ -474,13 +551,19 @@ func (m *Machine) Step(dt float64) {
 	sort.Slice(m.tasks, func(i, j int) bool { return m.tasks[i].id < m.tasks[j].id })
 
 	// Pass 1: provisional environments for demand estimation. Use the
-	// class-license frequency and the full COS bandwidth cap.
+	// class-license frequency and the full COS bandwidth cap. A task
+	// whose cores are all offline is dormant: zero demand, no step.
 	envs := make([]Env, n)
 	demands := make([]Demand, n)
+	eff := make([]int, n)
 	llcPart := cache.Partition{TotalMB: m.plat.TotalLLCMB(), Ways: m.plat.LLC.Ways}
 	for i, t := range m.tasks {
+		eff[i] = m.effCores(t.place)
 		envs[i] = m.baseEnv(t, llcPart)
-		demands[i] = t.wl.Demand(envs[i])
+		envs[i].Cores = eff[i]
+		if eff[i] > 0 {
+			demands[i] = t.wl.Demand(envs[i])
+		}
 	}
 
 	// Frequency regions: one per slot-0 task; siblings merge in.
@@ -532,7 +615,7 @@ func (m *Machine) Step(dt float64) {
 	loads := make([]power.RegionLoad, len(regions))
 	for j, r := range regions {
 		loads[j] = power.RegionLoad{
-			Cores: m.tasks[r.primary].place.Cores(),
+			Cores: eff[r.primary],
 			Class: r.class,
 			Util:  r.util,
 		}
@@ -542,9 +625,13 @@ func (m *Machine) Step(dt float64) {
 	// Bandwidth: two-level weighted max-min arbitration — across
 	// classes of service (weights: core counts, caps: MBA throttles),
 	// then across the tasks within each class (weights: core counts).
+	availBW := m.plat.MemBWGBs - m.bwPressure
+	if availBW < 1 {
+		availBW = 1
+	}
 	cosCores := make([]int, len(m.cos))
-	for _, t := range m.tasks {
-		cosCores[t.place.COS] += t.place.Cores()
+	for i, t := range m.tasks {
+		cosCores[t.place.COS] += eff[i]
 	}
 	cosDemand := make([]float64, len(m.cos))
 	cosWeight := make([]float64, len(m.cos))
@@ -555,9 +642,9 @@ func (m *Machine) Step(dt float64) {
 	}
 	for c := range m.cos {
 		cosWeight[c] = float64(cosCores[c])
-		cosCap[c] = m.cos[c].MBAFrac * m.plat.MemBWGBs
+		cosCap[c] = m.cos[c].MBAFrac * availBW
 	}
-	cosGrants := membw.MaxMin(m.plat.MemBWGBs, cosDemand, cosWeight, cosCap)
+	cosGrants := membw.MaxMin(availBW, cosDemand, cosWeight, cosCap)
 	// Within each class, allot across its tasks.
 	taskGrant := make([]float64, n)
 	for c := range m.cos {
@@ -569,7 +656,7 @@ func (m *Machine) Step(dt float64) {
 			}
 			idx = append(idx, i)
 			dem = append(dem, demands[i].BWGBs)
-			wts = append(wts, float64(t.place.Cores()))
+			wts = append(wts, float64(eff[i]))
 		}
 		if len(idx) == 0 {
 			continue
@@ -579,7 +666,7 @@ func (m *Machine) Step(dt float64) {
 			taskGrant[i] = g[k]
 		}
 	}
-	linkUsed := 0.0
+	linkUsed := m.bwPressure
 	for _, g := range taskGrant {
 		linkUsed += g
 	}
@@ -587,10 +674,14 @@ func (m *Machine) Step(dt float64) {
 
 	// Pass 2: final environments and execution.
 	for i, t := range m.tasks {
+		if eff[i] == 0 {
+			continue // all cores offline: the task is stalled
+		}
 		env := envs[i]
 		if regionOf[i] >= 0 {
 			env.GHz = sol.FreqGHz[regionOf[i]]
 		}
+		env.GHz *= m.freqDerate
 		// Bandwidth share within COS.
 		c := t.place.COS
 		env.BWGBs = taskGrant[i]
@@ -601,7 +692,7 @@ func (m *Machine) Step(dt float64) {
 		}
 		// LLC share within COS.
 		if cosCores[c] > 0 {
-			env.LLCMB = llcPart.WaysMB(m.cos[c].Ways.Count()) * float64(t.place.Cores()) / float64(cosCores[c])
+			env.LLCMB = llcPart.WaysMB(m.cos[c].Ways.Count()) * float64(eff[i]) / float64(cosCores[c])
 		}
 		// SMT compute share.
 		env.ComputeShare = m.computeShare(i, demands)
@@ -619,7 +710,7 @@ func (m *Machine) Step(dt float64) {
 		st.UtilIntegral += u.Util * dt
 		st.AMXBusyInt += u.AMXBusy * dt
 		st.AVXBusyInt += u.AVXBusy * dt
-		st.EnergyJ += float64(t.place.Cores()) *
+		st.EnergyJ += float64(eff[i]) *
 			power.CoreWatts(m.plat, demands[i].Class, u.Util, env.GHz) * dt
 		st.Breakdown.Weighted(u.Breakdown, dt)
 	}

@@ -326,3 +326,129 @@ func TestPerTaskEnergyAttribution(t *testing.T) {
 		t.Fatal("mean watts missing")
 	}
 }
+
+func TestOfflineCoresStallWork(t *testing.T) {
+	m := newTestMachine()
+	a := &constApp{name: "a", class: power.Scalar, util: 0.8}
+	id, _ := m.AddTask(a, Placement{CoreLo: 0, CoreHi: 47, SMTSlot: 0})
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	full, _ := m.Stats(id)
+	fullRate := full.Work / full.TimeS
+
+	// Offline half the task's cores: work rate halves.
+	if err := m.SetOffline(0, 23); err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi, ok := m.OfflineRange(); !ok || lo != 0 || hi != 23 {
+		t.Fatalf("offline range = %d..%d %v", lo, hi, ok)
+	}
+	m.ResetStats(id)
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	half, _ := m.Stats(id)
+	halfRate := half.Work / half.TimeS
+	if halfRate >= 0.6*fullRate {
+		t.Fatalf("offline half cores: rate %v vs full %v", halfRate, fullRate)
+	}
+
+	// Offline all of them: the task stalls entirely (stats frozen).
+	if err := m.SetOffline(0, 47); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats(id)
+	for i := 0; i < 50; i++ {
+		m.Step(1e-3)
+	}
+	dead, _ := m.Stats(id)
+	if dead.Work != 0 || dead.TimeS != 0 {
+		t.Fatalf("fully offline task still ran: %+v", dead)
+	}
+
+	// Restore: back to the full rate.
+	m.ClearOffline()
+	if _, _, ok := m.OfflineRange(); ok {
+		t.Fatal("offline range not cleared")
+	}
+	m.ResetStats(id)
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	back, _ := m.Stats(id)
+	if r := back.Work / back.TimeS; r < 0.99*fullRate {
+		t.Fatalf("restored rate %v vs full %v", r, fullRate)
+	}
+
+	if err := m.SetOffline(-1, 3); err == nil {
+		t.Fatal("negative offline range accepted")
+	}
+	if err := m.SetOffline(0, 999); err == nil {
+		t.Fatal("out-of-range offline range accepted")
+	}
+}
+
+func TestFreqDerate(t *testing.T) {
+	m := newTestMachine()
+	a := &constApp{name: "a", class: power.Scalar, util: 0.8}
+	id, _ := m.AddTask(a, Placement{CoreLo: 0, CoreHi: 47, SMTSlot: 0})
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	full, _ := m.Stats(id)
+
+	m.SetFreqDerate(0.5)
+	m.ResetStats(id)
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	derated, _ := m.Stats(id)
+	if derated.MeanGHz() >= 0.55*full.MeanGHz() {
+		t.Fatalf("derated freq %v vs full %v", derated.MeanGHz(), full.MeanGHz())
+	}
+
+	// Out-of-range derates reset to 1.
+	m.SetFreqDerate(0)
+	m.ResetStats(id)
+	for i := 0; i < 100; i++ {
+		m.Step(1e-3)
+	}
+	back, _ := m.Stats(id)
+	if back.MeanGHz() < 0.99*full.MeanGHz() {
+		t.Fatalf("derate not cleared: %v vs %v", back.MeanGHz(), full.MeanGHz())
+	}
+}
+
+func TestBWPressure(t *testing.T) {
+	p := platform.GenA()
+	m := New(p)
+	// A bandwidth hog demanding the whole link.
+	a := &constApp{name: "hog", class: power.Scalar, util: 0.5, bwGBs: p.MemBWGBs * 2}
+	id, _ := m.AddTask(a, Placement{CoreLo: 0, CoreHi: 47, SMTSlot: 0})
+	for i := 0; i < 50; i++ {
+		m.Step(1e-3)
+	}
+	full, _ := m.Stats(id)
+
+	// Reserve 80% of the link: granted traffic shrinks accordingly.
+	m.SetBWPressure(p.MemBWGBs * 0.8)
+	m.ResetStats(id)
+	for i := 0; i < 50; i++ {
+		m.Step(1e-3)
+	}
+	squeezed, _ := m.Stats(id)
+	if squeezed.DRAMBytes >= 0.35*full.DRAMBytes {
+		t.Fatalf("bw pressure: %v bytes vs full %v", squeezed.DRAMBytes, full.DRAMBytes)
+	}
+
+	m.SetBWPressure(0)
+	m.ResetStats(id)
+	for i := 0; i < 50; i++ {
+		m.Step(1e-3)
+	}
+	back, _ := m.Stats(id)
+	if back.DRAMBytes < 0.99*full.DRAMBytes {
+		t.Fatalf("pressure not cleared: %v vs %v", back.DRAMBytes, full.DRAMBytes)
+	}
+}

@@ -22,6 +22,32 @@ type Config struct {
 	// chunked prefill — at the cost of extra latency for the longest
 	// requests. 0 keeps whole-prompt FCFS (the paper's scheduler).
 	PrefillChunk int
+	// Admission bounds the engine's queues under overload.
+	Admission Admission
+}
+
+// Admission is the engine's overload policy. The zero value admits
+// everything (the paper's unbounded scheduler) except that the decode
+// backlog is bounded at its default.
+type Admission struct {
+	// MaxQueue sheds new arrivals once the prefill queue already holds
+	// this many requests (0 = unbounded). Shed requests count as
+	// Rejected in Stats.
+	MaxQueue int
+	// MaxHeadWait sheds new arrivals while the head-of-line request has
+	// already waited longer than this (0 = disabled): queueing delay
+	// this deep cannot meet any TTFT deadline, so admitting more
+	// requests only deepens the loss.
+	MaxHeadWait float64
+	// QueueDeadline stamps every accepted request whose Deadline is
+	// unset with Arrival+QueueDeadline; requests still waiting for
+	// their first prefill past the deadline are dropped as TimedOut
+	// (0 = no deadline).
+	QueueDeadline float64
+	// MaxBacklog bounds the prefilled-awaiting-decode backlog; overflow
+	// is shed and counted as BacklogDropped. 0 picks the default of
+	// 4x MaxBatch; negative values keep the backlog unbounded.
+	MaxBacklog int
 }
 
 func (c Config) withDefaults() Config {
@@ -30,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PrefillBatch <= 0 {
 		c.PrefillBatch = 1
+	}
+	if c.Admission.MaxBacklog == 0 {
+		c.Admission.MaxBacklog = 4 * c.MaxBatch
 	}
 	return c
 }
@@ -68,10 +97,25 @@ func (e *Engine) DecodeWorker() *Worker { return e.decode }
 // Stats returns a pointer to the engine's cumulative statistics.
 func (e *Engine) Stats() *Stats { return &e.stats }
 
-// Submit enqueues a request for prefill.
+// Submit enqueues a request for prefill. Under an Admission policy an
+// overloaded engine sheds the request instead of queueing it: Submit
+// returns nil (shedding is an outcome, not a caller error) and the
+// drop shows up in Stats.Rejected.
 func (e *Engine) Submit(r *Request) error {
 	if err := r.Validate(); err != nil {
 		return err
+	}
+	ad := e.cfg.Admission
+	if ad.MaxQueue > 0 && len(e.queue) >= ad.MaxQueue {
+		e.stats.Rejected++
+		return nil
+	}
+	if ad.MaxHeadWait > 0 && len(e.queue) > 0 && r.Arrival-e.queue[0].Arrival > ad.MaxHeadWait {
+		e.stats.Rejected++
+		return nil
+	}
+	if r.Deadline == 0 && ad.QueueDeadline > 0 {
+		r.Deadline = r.Arrival + ad.QueueDeadline
 	}
 	e.queue = append(e.queue, r)
 	return nil
@@ -132,18 +176,35 @@ func (e *Engine) RuntimeSLOs(now float64) (sloH, sloL float64) {
 	return sloH, sloL
 }
 
+// expireQueued drops requests that outlived their deadline before any
+// prefill work was spent on them; a request whose prefill has started
+// keeps running (its work would otherwise be wasted).
+func (e *Engine) expireQueued(now float64) {
+	keep := e.queue[:0]
+	for _, r := range e.queue {
+		if r.Deadline > 0 && now > r.Deadline && !r.started {
+			e.stats.TimedOut++
+			continue
+		}
+		keep = append(keep, r)
+	}
+	e.queue = keep
+}
+
 // nextPrefillJob pops up to PrefillBatch requests and forms a prefill
 // job, or returns nil when the queue is empty. With PrefillChunk set,
 // the job covers only the head request's next chunk and unfinished
 // requests rotate to the back of the queue.
 func (e *Engine) nextPrefillJob(now float64) *job {
+	e.expireQueued(now)
 	if len(e.queue) == 0 {
 		return nil
 	}
 	if e.cfg.PrefillChunk > 0 {
 		r := e.queue[0]
 		e.queue = append(e.queue[:0], e.queue[1:]...)
-		if r.PrefillStart == 0 {
+		if !r.started {
+			r.started = true
 			r.PrefillStart = now
 		}
 		remaining := r.PromptLen - r.prefillDone
@@ -163,6 +224,7 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 	e.queue = append(e.queue[:0], e.queue[n:]...)
 	totalTokens := 0
 	for _, r := range reqs {
+		r.started = true
 		r.PrefillStart = now
 		totalTokens += r.PromptLen
 	}
@@ -216,10 +278,15 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 		}
 		if len(e.decodeSet) < e.cfg.MaxBatch {
 			e.decodeSet = append(e.decodeSet, r)
-		} else {
-			// Batch full: requeue at the front of a side buffer by
-			// prepending to the admission backlog.
+		} else if mb := e.cfg.Admission.MaxBacklog; mb < 0 || len(e.admitBacklog) < mb {
+			// Batch full: append to the admission backlog; requests
+			// join the decode batch in FIFO order as slots free up.
 			e.admitBacklog = append(e.admitBacklog, r)
+		} else {
+			// Backlog bound reached: shed the request rather than let
+			// the backlog grow without limit under overload.
+			r.Done = true
+			e.stats.BacklogDropped++
 		}
 	}
 }

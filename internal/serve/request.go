@@ -17,9 +17,14 @@ type Request struct {
 	Arrival   float64 // submission time
 	PromptLen int     // input tokens
 	OutputLen int     // output tokens to generate (including the first)
+	// Deadline is the absolute time past which a still-queued request is
+	// dropped instead of prefilled (0 = no deadline). Submit stamps it
+	// from Admission.QueueDeadline when unset.
+	Deadline float64
 
 	// Filled in as the request progresses.
 	PrefillStart float64
+	started      bool    // prefill has begun (PrefillStart is valid)
 	prefillDone  int     // prompt tokens already prefilled (chunked mode)
 	FirstToken   float64 // completion time of the prefill (TTFT endpoint)
 	LastTokenAt  float64 // completion time of the most recent token

@@ -270,3 +270,196 @@ func TestChunkedPrefillAccounting(t *testing.T) {
 		t.Fatalf("prefill requests = %d", st.PrefillRequests)
 	}
 }
+
+func TestChunkedPrefillStartNotRestamped(t *testing.T) {
+	// Regression: a request arriving at t=0 had its PrefillStart
+	// re-stamped on every chunk because the code used PrefillStart == 0
+	// as the "not started" sentinel. With the explicit started flag the
+	// first chunk's timestamp (0 here) must survive later chunks.
+	cfg := testConfig()
+	cfg.PrefillChunk = 64
+	e := NewEngine(cfg)
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 512, OutputLen: 2}
+	e.Submit(r)
+	runEngine(e, 4000, 48)
+	if !r.Done {
+		t.Fatal("request unfinished")
+	}
+	if r.PrefillStart != 0 {
+		t.Fatalf("PrefillStart = %v, want 0 (stamped once at the first chunk)", r.PrefillStart)
+	}
+	if !r.started {
+		t.Fatal("started flag not set")
+	}
+}
+
+func TestBacklogAdmissionFIFO(t *testing.T) {
+	// When the decode batch is full, prefilled requests wait in the
+	// admission backlog and must join the batch in FIFO order.
+	cfg := testConfig()
+	cfg.MaxBatch = 2
+	e := NewEngine(cfg)
+	occupants := []*Request{
+		{ID: 1, PromptLen: 8, OutputLen: 100, FirstToken: 0.1, LastTokenAt: 0.1, TokensDone: 1},
+		{ID: 2, PromptLen: 8, OutputLen: 2, FirstToken: 0.1, LastTokenAt: 0.1, TokensDone: 1},
+	}
+	e.decodeSet = append(e.decodeSet, occupants...)
+	// Three prefills complete while the batch is full.
+	for i := 3; i <= 5; i++ {
+		r := &Request{ID: i, PromptLen: 8, OutputLen: 3}
+		e.onPrefillDone(&job{reqs: []*Request{r}}, 0.2)
+	}
+	if len(e.admitBacklog) != 3 {
+		t.Fatalf("backlog = %d, want 3", len(e.admitBacklog))
+	}
+	// One decode iteration retires request 2, freeing exactly one slot.
+	e.onDecodeDone(&job{reqs: append([]*Request(nil), e.decodeSet...)}, 0.3)
+	if got := e.decodeSet[len(e.decodeSet)-1].ID; got != 3 {
+		t.Fatalf("admitted request %d, want 3 (FIFO head of backlog)", got)
+	}
+	if len(e.admitBacklog) != 2 || e.admitBacklog[0].ID != 4 || e.admitBacklog[1].ID != 5 {
+		t.Fatalf("backlog order broken: %+v", e.admitBacklog)
+	}
+}
+
+func TestEarlyRetirementSingleToken(t *testing.T) {
+	// OutputLen == 1: the prefill's first token is the whole response,
+	// so the request retires without ever entering the decode batch.
+	e := NewEngine(testConfig())
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 64, OutputLen: 1}
+	e.Submit(r)
+	runEngine(e, 1000, 48)
+	if !r.Done {
+		t.Fatal("single-token request unfinished")
+	}
+	if e.DecodeBatch() != 0 {
+		t.Fatal("single-token request entered the decode batch")
+	}
+	st := e.Stats()
+	if st.FinishedOutput != 1 || st.DecodeTokens != 0 {
+		t.Fatalf("stats: finished=%d decode=%v", st.FinishedOutput, st.DecodeTokens)
+	}
+}
+
+func TestRuntimeSLOClamp(t *testing.T) {
+	e := NewEngine(testConfig())
+	// Head-of-line wait far beyond d_TTFT: SLO_H clamps at the 1e-3
+	// floor instead of going negative.
+	e.Submit(&Request{ID: 1, Arrival: 0, PromptLen: 64, OutputLen: 2})
+	sloH, _ := e.RuntimeSLOs(100)
+	if sloH != 1e-3 {
+		t.Fatalf("SLO_H = %v, want the 1e-3 floor", sloH)
+	}
+	// A decode request hopelessly behind schedule clamps SLO_L too.
+	e.decodeSet = append(e.decodeSet, &Request{ID: 2, PromptLen: 8, OutputLen: 10, LAG: -5})
+	_, sloL := e.RuntimeSLOs(100)
+	if sloL != 1e-3 {
+		t.Fatalf("SLO_L = %v, want the 1e-3 floor", sloL)
+	}
+}
+
+func TestAdmissionMaxQueue(t *testing.T) {
+	cfg := testConfig()
+	cfg.Admission.MaxQueue = 2
+	e := NewEngine(cfg)
+	for i := 0; i < 5; i++ {
+		if err := e.Submit(&Request{ID: i, PromptLen: 8, OutputLen: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", e.QueueLen())
+	}
+	if e.Stats().Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3", e.Stats().Rejected)
+	}
+}
+
+func TestAdmissionMaxHeadWait(t *testing.T) {
+	cfg := testConfig()
+	cfg.Admission.MaxHeadWait = 0.5
+	e := NewEngine(cfg)
+	e.Submit(&Request{ID: 1, Arrival: 0, PromptLen: 8, OutputLen: 2})
+	// Head has waited 0.4 s: still admitting.
+	e.Submit(&Request{ID: 2, Arrival: 0.4, PromptLen: 8, OutputLen: 2})
+	// Head has waited 0.9 s: shedding.
+	e.Submit(&Request{ID: 3, Arrival: 0.9, PromptLen: 8, OutputLen: 2})
+	if e.QueueLen() != 2 || e.Stats().Rejected != 1 {
+		t.Fatalf("queue=%d rejected=%d, want 2/1", e.QueueLen(), e.Stats().Rejected)
+	}
+}
+
+func TestQueueDeadlineExpiry(t *testing.T) {
+	cfg := testConfig()
+	cfg.Admission.QueueDeadline = 0.2
+	e := NewEngine(cfg)
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 8, OutputLen: 2}
+	e.Submit(r)
+	if r.Deadline != 0.2 {
+		t.Fatalf("deadline = %v, want stamped 0.2", r.Deadline)
+	}
+	// An explicit deadline is preserved.
+	r2 := &Request{ID: 2, Arrival: 0, PromptLen: 8, OutputLen: 2, Deadline: 9}
+	e.Submit(r2)
+	if r2.Deadline != 9 {
+		t.Fatalf("explicit deadline overwritten: %v", r2.Deadline)
+	}
+	// Past the deadline, the un-started head request is dropped and the
+	// live one prefills.
+	if j := e.nextPrefillJob(0.5); j == nil || j.reqs[0].ID != 2 {
+		t.Fatalf("expected request 2 to prefill, got %+v", j)
+	}
+	if e.Stats().TimedOut != 1 {
+		t.Fatalf("timedOut = %d, want 1", e.Stats().TimedOut)
+	}
+}
+
+func TestDeadlineDoesNotKillStartedRequest(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefillChunk = 64
+	e := NewEngine(cfg)
+	r := &Request{ID: 1, Arrival: 0, PromptLen: 512, OutputLen: 2, Deadline: 0.01}
+	e.Submit(r)
+	// First chunk starts the request before the deadline...
+	j := e.nextPrefillJob(0)
+	e.onPrefillDone(j, 0.005)
+	// ...so later chunks keep running even past it.
+	if j2 := e.nextPrefillJob(1.0); j2 == nil || j2.reqs[0] != r {
+		t.Fatal("started request was dropped past its deadline")
+	}
+	if e.Stats().TimedOut != 0 {
+		t.Fatal("started request counted as timed out")
+	}
+}
+
+func TestBoundedBacklog(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 1
+	cfg.Admission.MaxBacklog = 2
+	e := NewEngine(cfg)
+	e.decodeSet = append(e.decodeSet, &Request{ID: 1, PromptLen: 8, OutputLen: 100, TokensDone: 1})
+	for i := 2; i <= 5; i++ {
+		r := &Request{ID: i, PromptLen: 8, OutputLen: 3}
+		e.onPrefillDone(&job{reqs: []*Request{r}}, 0.1)
+	}
+	if len(e.admitBacklog) != 2 {
+		t.Fatalf("backlog = %d, want bound 2", len(e.admitBacklog))
+	}
+	if e.Stats().BacklogDropped != 2 {
+		t.Fatalf("backlogDropped = %d, want 2", e.Stats().BacklogDropped)
+	}
+	// The default (MaxBacklog 0) resolves to 4x MaxBatch.
+	if d := NewEngine(testConfig()).Config().Admission.MaxBacklog; d != 64 {
+		t.Fatalf("default backlog bound = %d, want 64", d)
+	}
+	// Negative keeps it unbounded.
+	cfg.Admission.MaxBacklog = -1
+	e2 := NewEngine(cfg)
+	e2.decodeSet = append(e2.decodeSet, &Request{ID: 1, PromptLen: 8, OutputLen: 100, TokensDone: 1})
+	for i := 2; i <= 40; i++ {
+		e2.onPrefillDone(&job{reqs: []*Request{{ID: i, PromptLen: 8, OutputLen: 3}}}, 0.1)
+	}
+	if len(e2.admitBacklog) != 39 || e2.Stats().BacklogDropped != 0 {
+		t.Fatalf("unbounded backlog: len=%d dropped=%d", len(e2.admitBacklog), e2.Stats().BacklogDropped)
+	}
+}

@@ -32,6 +32,12 @@ type Stats struct {
 
 	// Guaranteed throughput: tokens produced within their SLO.
 	GuaranteedTokens float64
+
+	// Admission-control breakdown (all zero when the engine runs the
+	// paper's unbounded scheduler).
+	Rejected       int // shed at Submit by MaxQueue / MaxHeadWait
+	TimedOut       int // dropped from the queue past their Deadline
+	BacklogDropped int // prefilled but shed at the bounded decode backlog
 }
 
 func pushBounded(s []float64, v float64) []float64 {

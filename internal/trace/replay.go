@@ -53,7 +53,9 @@ func (r *Recorded) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Load reads a trace written by Save.
+// Load reads a trace written by Save. A corrupted or truncated file
+// yields an error naming the path (and, for semantic damage, the
+// offending request and field) instead of a zero-valued trace.
 func Load(path string) (*Recorded, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -61,24 +63,33 @@ func Load(path string) (*Recorded, error) {
 	}
 	var r Recorded
 	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("trace: decoding recorded trace: %w", err)
+		return nil, fmt.Errorf("trace: decoding recorded trace %s: %w", path, err)
+	}
+	if r.Scenario == "" {
+		return nil, fmt.Errorf("trace: recorded trace %s: missing scenario field", path)
 	}
 	if err := r.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: recorded trace %s: %w", path, err)
 	}
 	return &r, nil
 }
 
-// Validate checks the trace for replayability.
+// Validate checks the trace for replayability, naming the first
+// offending request and field.
 func (r *Recorded) Validate() error {
 	if !sort.SliceIsSorted(r.Requests, func(i, j int) bool {
 		return r.Requests[i].Arrival < r.Requests[j].Arrival
 	}) {
-		return fmt.Errorf("trace: arrivals out of order")
+		return fmt.Errorf("arrivals out of order")
 	}
 	for i, q := range r.Requests {
-		if q.PromptLen < 1 || q.OutputLen < 1 || q.Arrival < 0 {
-			return fmt.Errorf("trace: request %d malformed: %+v", i, q)
+		switch {
+		case q.Arrival < 0:
+			return fmt.Errorf("request %d: negative arrival %v", i, q.Arrival)
+		case q.PromptLen < 1:
+			return fmt.Errorf("request %d: prompt_len %d < 1", i, q.PromptLen)
+		case q.OutputLen < 1:
+			return fmt.Errorf("request %d: output_len %d < 1", i, q.OutputLen)
 		}
 	}
 	return nil

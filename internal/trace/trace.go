@@ -123,6 +123,14 @@ func (g *Generator) sample(mean int, sigma float64, floor int) int {
 	return v
 }
 
+// SampleLengths draws one scenario-typical (prompt, output) length
+// pair from the generator's stream — used by fault injectors to
+// synthesize burst arrivals that match the trace's distribution.
+func (g *Generator) SampleLengths() (promptLen, outputLen int) {
+	return g.sample(g.scen.MeanInput, g.scen.SigmaInput, 8),
+		g.sample(g.scen.MeanOutput, g.scen.SigmaOutput, 2)
+}
+
 // Emit returns the requests arriving in (now, now+dt].
 func (g *Generator) Emit(now, dt float64) []*serve.Request {
 	var out []*serve.Request

@@ -3,6 +3,7 @@ package trace
 import (
 	"math"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -178,5 +179,60 @@ func TestLoadRejectsMalformed(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil {
 		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestLoadCorruptionDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Truncated JSON: the error names the file.
+	rec := Record(Chatbot(), 9, 30)
+	good := dir + "/good.json"
+	if err := rec.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(good)
+	trunc := write("trunc.json", string(data[:len(data)/2]))
+	if _, err := Load(trunc); err == nil || !strings.Contains(err.Error(), "trunc.json") {
+		t.Fatalf("truncated-file error lacks path: %v", err)
+	}
+	// Valid JSON, missing scenario.
+	noScen := write("noscen.json", `{"requests":[]}`)
+	if _, err := Load(noScen); err == nil || !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("missing-scenario error: %v", err)
+	}
+	// Valid JSON, corrupt field: the error names request and field.
+	badField := write("badfield.json",
+		`{"scenario":"cb","requests":[{"arrival":0,"prompt_len":5,"output_len":3},{"arrival":1,"prompt_len":-2,"output_len":3}]}`)
+	_, err := Load(badField)
+	if err == nil || !strings.Contains(err.Error(), "request 1") || !strings.Contains(err.Error(), "prompt_len") {
+		t.Fatalf("corrupt-field error lacks request/field: %v", err)
+	}
+	// Negative arrival named as such.
+	negArr := &Recorded{Requests: []Request{{Arrival: -1, PromptLen: 5, OutputLen: 3}}}
+	if err := negArr.Validate(); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Fatalf("negative-arrival error: %v", err)
+	}
+}
+
+func TestSampleLengthsMatchesDistribution(t *testing.T) {
+	scen := Chatbot()
+	g := NewGenerator(scen, 17)
+	sum, n := 0.0, 4000
+	for i := 0; i < n; i++ {
+		p, o := g.SampleLengths()
+		if p < 8 || o < 2 || p > 8*scen.MeanInput || o > 8*scen.MeanOutput {
+			t.Fatalf("sample out of range: %d/%d", p, o)
+		}
+		sum += float64(p)
+	}
+	if mean := sum / float64(n); math.Abs(mean-float64(scen.MeanInput))/float64(scen.MeanInput) > 0.15 {
+		t.Fatalf("sampled mean prompt = %.0f, want ~%d", mean, scen.MeanInput)
 	}
 }

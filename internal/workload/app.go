@@ -73,14 +73,18 @@ type Profile struct {
 // App is a running instance of a profile.
 type App struct {
 	prof  Profile
+	orig  Profile // pre-flip characterization (see FlipPhase)
 	rng   *rng.Stream
 	burst float64 // current modulation in [1-amp, 1+amp]
 	phase float64
+
+	intensity float64 // chaos surge multiplier (1 = nominal)
+	flipped   bool
 }
 
 // New instantiates a profile with its own random stream.
 func New(p Profile, seed uint64) *App {
-	return &App{prof: p, rng: rng.New(seed), burst: 1}
+	return &App{prof: p, orig: p, rng: rng.New(seed), burst: 1, intensity: 1}
 }
 
 // Name implements machine.Workload.
@@ -88,6 +92,40 @@ func (a *App) Name() string { return a.prof.Name }
 
 // Profile returns the static characterization.
 func (a *App) Profile() Profile { return a.prof }
+
+// SetIntensity scales the application's offered intensity (compute rate
+// and unit utilization) by mult — a chaos-injected load surge. mult 1
+// restores nominal behaviour; non-positive values are ignored.
+func (a *App) SetIntensity(mult float64) {
+	if mult > 0 {
+		a.intensity = mult
+	}
+}
+
+// Intensity returns the current surge multiplier.
+func (a *App) Intensity() float64 { return a.intensity }
+
+// FlipPhase toggles the application into (and back out of) an alternate
+// behavioural phase: a markedly more memory-hungry, higher-utilization
+// regime than the one the AUV profiler characterized. A flip therefore
+// invalidates the profiled bucket the controller is operating — exactly
+// the post-profiling drift Section VII-D names as AUM's limitation.
+func (a *App) FlipPhase() {
+	if a.flipped {
+		a.prof, a.flipped = a.orig, false
+		return
+	}
+	p := a.orig
+	p.ColdBytes *= 2.5
+	p.ReuseBytes *= 1.5
+	p.Util = math.Min(1, p.Util*1.3)
+	p.LatencySens *= 1.5
+	p.DRAMBWShare = math.Min(1, p.DRAMBWShare*1.5)
+	a.prof, a.flipped = p, true
+}
+
+// PhaseFlipped reports whether the alternate phase is active.
+func (a *App) PhaseFlipped() bool { return a.flipped }
 
 // bytesPerUnit returns the DRAM traffic per work unit under the LLC
 // allocation.
@@ -108,7 +146,7 @@ func (a *App) unconstrainedRate(env machine.Env) float64 {
 	if f <= 0 {
 		return 0
 	}
-	return a.prof.PerCoreRate * float64(env.Cores) * math.Pow(f, a.prof.FreqSens) * share * a.burst
+	return a.prof.PerCoreRate * float64(env.Cores) * math.Pow(f, a.prof.FreqSens) * share * a.burst * a.intensity
 }
 
 // Demand implements machine.Workload.
@@ -116,7 +154,7 @@ func (a *App) Demand(env machine.Env) machine.Demand {
 	r := a.unconstrainedRate(env)
 	return machine.Demand{
 		Class: a.prof.Class,
-		Util:  a.prof.Util * a.burst,
+		Util:  math.Min(1.25, a.prof.Util*a.burst*a.intensity),
 		BWGBs: r * a.bytesPerUnit(env.LLCMB) / 1e9,
 	}
 }
@@ -167,7 +205,7 @@ func (a *App) Step(env machine.Env, now, dt float64) machine.Usage {
 	return machine.Usage{
 		Work:      work,
 		DRAMBytes: work * bpu,
-		Util:      a.prof.Util * a.burst * clamp01(rate/math.Max(r0, 1e-9)+0.3),
+		Util:      math.Min(1.25, a.prof.Util*a.burst*a.intensity) * clamp01(rate/math.Max(r0, 1e-9)+0.3),
 		Breakdown: bd,
 	}
 }

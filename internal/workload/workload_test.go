@@ -192,3 +192,54 @@ func TestAUServiceDegradesWhenStarved(t *testing.T) {
 		t.Fatalf("60-core service guarantee only %v", rich.GuaranteeRatio())
 	}
 }
+
+func TestIntensitySurge(t *testing.T) {
+	e := env(16, 3.2, 100, 400)
+	a := New(Compute(), 1)
+	base := a.Step(e, 0, 1).Work
+	a.SetIntensity(2)
+	if a.Intensity() != 2 {
+		t.Fatalf("intensity = %v", a.Intensity())
+	}
+	surged := a.Step(e, 1, 1).Work
+	if surged < 1.5*base {
+		t.Fatalf("surge did not raise work: %v vs %v", surged, base)
+	}
+	a.SetIntensity(-3) // ignored
+	if a.Intensity() != 2 {
+		t.Fatal("non-positive intensity accepted")
+	}
+	a.SetIntensity(1)
+	back := a.Step(e, 2, 1).Work
+	if back < 0.9*base || back > 1.1*base {
+		t.Fatalf("intensity not restored: %v vs %v", back, base)
+	}
+}
+
+func TestPhaseFlip(t *testing.T) {
+	e := env(16, 3.2, 40, 400)
+	a := New(SPECjbb(), 1)
+	baseBW := a.Demand(e).BWGBs
+	orig := a.Profile()
+
+	a.FlipPhase()
+	if !a.PhaseFlipped() {
+		t.Fatal("flip not recorded")
+	}
+	flipBW := a.Demand(e).BWGBs
+	if flipBW <= 1.5*baseBW {
+		t.Fatalf("flipped phase not more memory-hungry: %v vs %v", flipBW, baseBW)
+	}
+	if a.Profile().Util <= orig.Util {
+		t.Fatal("flipped phase should raise utilization")
+	}
+
+	// Flipping again restores the profiled behaviour exactly.
+	a.FlipPhase()
+	if a.PhaseFlipped() {
+		t.Fatal("second flip did not restore")
+	}
+	if a.Profile() != orig {
+		t.Fatalf("profile not restored: %+v", a.Profile())
+	}
+}
