@@ -10,6 +10,7 @@ package aum
 // controller decision, the simulator step, and the kernel cost model.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,6 +22,8 @@ import (
 	"aum/internal/membw"
 	"aum/internal/platform"
 	"aum/internal/power"
+	"aum/internal/rng"
+	"aum/internal/runner"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -59,6 +62,36 @@ func BenchmarkExperiment(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFullSuiteQuick regenerates the entire registry against a
+// fresh lab per iteration — the wall-clock figure the hot-path
+// optimizations are judged by (run with -benchtime 1x in CI).
+func BenchmarkFullSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := experiments.NewLab()
+		for _, e := range experiments.Registry() {
+			tbl, err := e.Run(l, experiments.Options{Quick: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTableSink = tbl
+		}
+	}
+}
+
+// BenchmarkRunnerMap measures the per-scenario dispatch overhead of the
+// parallel runner with trivial scenario bodies.
+func BenchmarkRunnerMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := runner.Map(context.Background(), 256, runner.Options{Seed: 1},
+			func(_ context.Context, j int, r *rng.Stream) (uint64, error) {
+				return r.Uint64() + uint64(j), nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,29 +4,56 @@
 //
 //	aumbench -list
 //	aumbench -run fig14
-//	aumbench -run all -quick
+//	aumbench -run all -quick -workers 8
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md maps
 // every ID to the corresponding table or figure and records the
-// expected shapes.
+// expected shapes. Independent simulations inside each experiment fan
+// out across the runner pool (-workers); the determinism contract
+// (DESIGN.md §6) guarantees the tables are identical at any width.
+//
+// Every run also emits a machine-readable timing report (BENCH_results
+// schema below) to -bench-out, so CI can archive wall-clock trends next
+// to the tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"aum/internal/experiments"
 )
 
+// benchReport is the BENCH_results.json schema.
+type benchReport struct {
+	Suite       string            `json:"suite"`
+	Quick       bool              `json:"quick"`
+	Seed        uint64            `json:"seed"`
+	Workers     int               `json:"workers"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	TotalS      float64           `json:"total_s"`
+	Experiments []experimentTimed `json:"experiments"`
+}
+
+type experimentTimed struct {
+	ID    string  `json:"id"`
+	Paper string  `json:"paper"`
+	WallS float64 `json:"wall_s"`
+}
+
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		quick  = flag.Bool("quick", false, "reduced horizons (seconds instead of minutes)")
-		seed   = flag.Uint64("seed", 42, "root random seed")
-		format = flag.String("format", "text", "output format: text | csv")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced horizons (seconds instead of minutes)")
+		seed     = flag.Uint64("seed", 42, "root random seed")
+		format   = flag.String("format", "text", "output format: text | csv")
+		workers  = flag.Int("workers", 0, "per-experiment fan-out width (0 = default); never changes results")
+		benchOut = flag.String("bench-out", "BENCH_results.json", "timing report path ('' disables)")
 	)
 	flag.StringVar(run, "experiment", "", "alias for -run")
 	flag.Parse()
@@ -43,6 +70,9 @@ func main() {
 	}
 
 	lab := experiments.NewLab()
+	if *workers > 0 {
+		lab.SetWorkers(*workers)
+	}
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
 
 	var todo []experiments.Experiment
@@ -56,6 +86,11 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
+	report := benchReport{
+		Suite: "aumbench", Quick: *quick, Seed: *seed,
+		Workers: lab.Workers(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	suiteStart := time.Now()
 	for _, e := range todo {
 		start := time.Now()
 		tbl, err := e.Run(lab, opt)
@@ -63,11 +98,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
+		report.Experiments = append(report.Experiments, experimentTimed{ID: e.ID, Paper: e.Paper, WallS: wall})
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
 			continue
 		}
 		fmt.Print(tbl.Render())
-		fmt.Printf("(%s reproduces %s; %.1fs)\n\n", e.ID, e.Paper, time.Since(start).Seconds())
+		fmt.Printf("(%s reproduces %s; %.1fs)\n\n", e.ID, e.Paper, wall)
+	}
+	report.TotalS = time.Since(suiteStart).Seconds()
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.1fs total)\n", *benchOut, len(report.Experiments), report.TotalS)
 	}
 }

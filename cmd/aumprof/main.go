@@ -28,6 +28,7 @@ func main() {
 		reps     = flag.Int("reps", 10, "repetitions per bucket")
 		horizon  = flag.Float64("horizon", 10, "seconds per profiling run")
 		seed     = flag.Uint64("seed", 1, "root random seed")
+		workers  = flag.Int("workers", 0, "bucket-sweep fan-out (0 = GOMAXPROCS); never changes the model")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 
 	start := time.Now()
 	auv, err := aum.Profile(plat, model, scen, be, aum.ProfilerOptions{
-		Reps: *reps, HorizonS: *horizon, Seed: *seed,
+		Reps: *reps, HorizonS: *horizon, Seed: *seed, Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadModel hardens the AUV-model loader the controller boots
+// from: arbitrary file contents must produce a descriptive error or a
+// validated model, never a panic. Run with
+//
+//	go test ./internal/core -fuzz FuzzLoadModel
+//
+// The seed corpus (f.Add plus testdata/fuzz/FuzzLoadModel) is replayed
+// by a plain `go test` run, so regressions are caught without -fuzz.
+func FuzzLoadModel(f *testing.F) {
+	// A structurally valid two-bucket model.
+	valid := []byte(`{
+  "platform": "GenA", "llm_model": "llama2-7b", "scenario": "cb", "co_runner": "SPECjbb",
+  "divisions": [{"name": "d0", "hi_frac": 0.5, "lo_frac": 0.3}],
+  "configs": [{"name": "c0", "be_ways": 3, "be_mba": 40}, {"name": "c1", "be_ways": 6, "be_mba": 100}],
+  "buckets": [
+    {"division": 0, "config": 0, "freq_h": 2.5, "freq_l": 3.1, "thr_h": 100, "thr_l": 900, "thr_n": 4000,
+     "ttft_avg": 0.4, "ttft_tail": 0.9, "tpot_avg": 0.05, "tpot_tail": 0.09, "watts": 700, "runs": 3},
+    {"division": 0, "config": 1, "freq_h": 2.4, "freq_l": 3.0, "thr_h": 90, "thr_l": 850, "thr_n": 6000,
+     "ttft_avg": 0.5, "ttft_tail": 1.0, "tpot_avg": 0.06, "tpot_tail": 0.10, "watts": 690, "runs": 3}
+  ],
+  "gamma": 0.001
+}`)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"divisions":[],"configs":[],"buckets":[]}`))
+	f.Add([]byte(`{"divisions":[{"name":"d"}],"configs":[{"name":"c"}],"buckets":[]}`))
+	f.Add([]byte(`{"divisions":[{"name":"d"}],"configs":[{"name":"c"}],"buckets":[{"watts":0}]}`))
+	f.Add([]byte(`{"divisions":[{"name":"d"}],"configs":[{"name":"c"}],"buckets":[{"watts":700,"thr_h":-1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "model.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := LoadModel(path)
+		if err != nil {
+			if !strings.Contains(err.Error(), "core:") {
+				t.Fatalf("error lost its package context: %v", err)
+			}
+			return
+		}
+		// Anything accepted must satisfy the controller's invariants:
+		// Validate passed, so bucket lookups are in range and every
+		// bucket has positive watts (Efficiency divides by it).
+		if err := m.Validate(); err != nil {
+			t.Fatalf("loader returned an invalid model: %v", err)
+		}
+		for d := range m.Divisions {
+			for c := range m.Configs {
+				if b := m.Bucket(d, c); b == nil || b.Watts <= 0 {
+					t.Fatalf("bucket (%d,%d) unusable after successful load", d, c)
+				}
+			}
+		}
+	})
+}

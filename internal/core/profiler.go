@@ -1,16 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"aum/internal/colo"
 	"aum/internal/llm"
 	"aum/internal/machine"
 	"aum/internal/manager"
 	"aum/internal/platform"
+	"aum/internal/rng"
 	"aum/internal/roofline"
+	"aum/internal/runner"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -90,6 +91,10 @@ type ProfilerOptions struct {
 	// tails.
 	SigmaScale float64
 	Seed       uint64
+	// Workers bounds the bucket-sweep fan-out (<= 0 = GOMAXPROCS). The
+	// width never changes the resulting model: every rep's seed is an
+	// explicit function of (Seed, bucket, rep).
+	Workers int
 }
 
 func (o ProfilerOptions) withDefaults() ProfilerOptions {
@@ -180,8 +185,9 @@ func Profile(plat platform.Platform, model llm.Model, scen trace.Scenario, be wo
 	profScen.SigmaInput *= opt.SigmaScale
 	profScen.SigmaOutput *= opt.SigmaScale
 
-	// Buckets are independent dedicated-node runs; sweep them in
-	// parallel.
+	// Buckets are independent dedicated-node runs; sweep them across the
+	// runner pool. Every rep's seed is an explicit function of (root
+	// seed, bucket, rep), so the sweep is deterministic at any width.
 	type job struct{ di, ci int }
 	jobs := make([]job, 0, len(divs)*len(cfgs))
 	for di := range divs {
@@ -189,18 +195,9 @@ func Profile(plat platform.Platform, model llm.Model, scen trace.Scenario, be wo
 			jobs = append(jobs, job{di, ci})
 		}
 	}
-	var (
-		wg    sync.WaitGroup
-		sem   = make(chan struct{}, runtime.GOMAXPROCS(0))
-		errMu sync.Mutex
-		first error
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(di, ci int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	err := runner.ForEach(context.Background(), len(jobs), runner.Options{Workers: opt.Workers},
+		func(_ context.Context, j int, _ *rng.Stream) error {
+			di, ci := jobs[j].di, jobs[j].ci
 			b := m.Bucket(di, ci)
 			b.Division, b.Config = di, ci
 			for rep := 0; rep < opt.Reps; rep++ {
@@ -216,21 +213,15 @@ func Profile(plat platform.Platform, model llm.Model, scen trace.Scenario, be wo
 					RatePerS: opt.RatePerS,
 				})
 				if err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = fmt.Errorf("core: profiling d%d c%d rep%d: %w", di, ci, rep, err)
-					}
-					errMu.Unlock()
-					return
+					return fmt.Errorf("core: profiling d%d c%d rep%d: %w", di, ci, rep, err)
 				}
 				accumulate(b, res)
 			}
 			finalize(b, opt.Reps)
-		}(j.di, j.ci)
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	m.ProfileRuns = len(jobs) * opt.Reps
 	return m, nil

@@ -22,7 +22,7 @@ func init() {
 // guarantee stays near the exclusive baseline — Section VIII's claim
 // that the methodology is "applicable to all AU-enabled benchmarks
 // besides LLM serving", made runnable.
-func runAUService(_ *Lab, o Options) (*Table, error) {
+func runAUService(l *Lab, o Options) (*Table, error) {
 	o = o.withDefaults()
 	horizon, _, _ := o.horizons()
 	plat := platform.GenC()
@@ -86,42 +86,57 @@ func runAUService(_ *Lab, o Options) (*Table, error) {
 	t := &Table{ID: "auservice", Title: "Vocoder service + SPECjbb on GenC",
 		Columns: []string{"guarantee", "lat-ms", "svc-qps", "jbb-kops", "watts", "eff"}}
 
-	// Baselines: exclusive and naive half-split sharing.
-	excl, err := run("exclusive", plat.Cores, 0, 0, 0, o.Seed)
-	if err != nil {
-		return nil, err
-	}
-	naive, err := run("naive-half", plat.Cores/2, plat.Cores/2, plat.LLC.Ways/2, 100, o.Seed)
-	if err != nil {
-		return nil, err
-	}
-
-	// Profile-control: sweep service-region sizes x two resource
-	// configurations offline, pick the most efficient configuration
-	// whose guarantee stays within 3 points of exclusive.
+	// Baselines (exclusive, naive half-split) and the profile-control
+	// sweep are independent runs; fan them all out. Each sweep point's
+	// seed is a function of its index, so the table is width-invariant.
 	type cfg struct {
 		frac  float64
 		ways  int
 		mba   int
 		label string
 	}
-	var best outcome
-	bestName := ""
-	sweep := 0
-	for _, c := range []cfg{
+	sweepCfgs := []cfg{
 		{0.85, 3, 40, "svc85"},
 		{0.75, 3, 40, "svc75"},
 		{0.65, 3, 40, "svc65"},
 		{0.85, 6, 100, "svc85-open"},
 		{0.75, 6, 100, "svc75-open"},
 		{0.65, 6, 100, "svc65-open"},
-	} {
-		svcCores := int(c.frac * float64(plat.Cores))
-		res, err := run(c.label, svcCores, plat.Cores-svcCores, c.ways, c.mba, o.Seed+uint64(sweep)*17)
-		if err != nil {
-			return nil, err
+	}
+	outs := make([]outcome, 2+len(sweepCfgs))
+	err := l.Parallel(len(outs), func(i int) error {
+		var (
+			res outcome
+			err error
+		)
+		switch i {
+		case 0:
+			res, err = run("exclusive", plat.Cores, 0, 0, 0, o.Seed)
+		case 1:
+			res, err = run("naive-half", plat.Cores/2, plat.Cores/2, plat.LLC.Ways/2, 100, o.Seed)
+		default:
+			c := sweepCfgs[i-2]
+			svcCores := int(c.frac * float64(plat.Cores))
+			res, err = run(c.label, svcCores, plat.Cores-svcCores, c.ways, c.mba, o.Seed+uint64(i-2)*17)
 		}
-		sweep++
+		if err != nil {
+			return err
+		}
+		outs[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	excl, naive := outs[0], outs[1]
+
+	// Profile-control: pick the most efficient swept configuration whose
+	// guarantee stays within a few points of exclusive.
+	var best outcome
+	bestName := ""
+	sweep := len(sweepCfgs)
+	for i, c := range sweepCfgs {
+		res := outs[2+i]
 		if res.guarantee >= excl.guarantee-0.05 && res.eff > best.eff {
 			best = res
 			bestName = c.label

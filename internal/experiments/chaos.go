@@ -55,18 +55,27 @@ func runChaos(l *Lab, o Options) (*Table, error) {
 
 	t := &Table{ID: "chaos", Title: "SLO violation and recovery under faults (flip + core loss at t=" + formatValue(horizon/2) + "s)",
 		Columns: []string{"violS", "recoveryS", "recovered", "goodput", "sharedKops", "rejected"}}
-	for _, s := range schemes {
-		mgr, err := s.build()
+	results := make([]colo.Result, len(schemes))
+	err = l.Parallel(len(schemes), func(i int) error {
+		mgr, err := schemes[i].build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := colo.Run(colo.Config{
 			Plat: plat, Model: model, Scen: scen, BE: &jbb,
 			Manager: mgr, HorizonS: horizon, Seed: o.Seed, Chaos: &sched,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range schemes {
+		res := results[i]
 		recovered := 0.0
 		if res.Recovered {
 			recovered = 1

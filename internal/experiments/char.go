@@ -100,10 +100,18 @@ func runFig5(l *Lab, o Options) (*Table, error) {
 		tokps, watts, usd float64
 	}
 	var pts []pt
-	for _, p := range []platform.Platform{platform.GenA(), platform.GenC()} {
-		// Saturating load: Figure 5 reports serving *capacity*, so the
-		// offered rate is set well above what the machine can absorb.
-		res, err := l.Run(RunSpec{Plat: p, Model: llm.Llama2_7B(), Scheme: "ALL-AU", Scen: scenCB(), RatePerS: 3}, o)
+	plats := []platform.Platform{platform.GenA(), platform.GenC()}
+	// Saturating load: Figure 5 reports serving *capacity*, so the
+	// offered rate is set well above what the machine can absorb.
+	specs := make([]RunSpec, len(plats))
+	for i, p := range plats {
+		specs[i] = RunSpec{Plat: p, Model: llm.Llama2_7B(), Scheme: "ALL-AU", Scen: scenCB(), RatePerS: 3}
+	}
+	if err := l.Prewarm(specs, o); err != nil {
+		return nil, err
+	}
+	for i, p := range plats {
+		res, err := l.Run(specs[i], o)
 		if err != nil {
 			return nil, err
 		}
@@ -202,16 +210,28 @@ func runFig6b(_ *Lab, _ Options) (*Table, error) {
 
 // runFig7 reports level-1 top-down distributions for the five
 // characterization workloads across the three platforms.
-func runFig7(_ *Lab, o Options) (*Table, error) {
+func runFig7(l *Lab, o Options) (*Table, error) {
 	t := &Table{ID: "fig7", Title: "Top-down cycle distribution (percent)",
 		Columns: []string{"retire", "badspec", "frontend", "backend"}}
-	for _, plat := range platform.All() {
-		// Conventional workloads: run on the machine for a short span.
-		for _, prof := range []workload.Profile{workload.MCF(), workload.Ads()} {
-			bd, err := runAppBreakdown(plat, prof, o)
-			if err != nil {
-				return nil, err
-			}
+	// The conventional-workload breakdowns are short machine runs; fan
+	// the (platform, profile) grid out before building the table.
+	plats := platform.All()
+	profs := []workload.Profile{workload.MCF(), workload.Ads()}
+	bds := make([][4]float64, len(plats)*len(profs))
+	err := l.Parallel(len(bds), func(i int) error {
+		bd, err := runAppBreakdown(plats[i/len(profs)], profs[i%len(profs)], o)
+		if err != nil {
+			return err
+		}
+		bds[i] = bd
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, plat := range plats {
+		for fi, prof := range profs {
+			bd := bds[pi*len(profs)+fi]
 			t.AddRow(fmt.Sprintf("%s/%s", plat.Name, prof.Name),
 				100*bd[0], 100*bd[1], 100*bd[2], 100*bd[3])
 		}

@@ -139,6 +139,22 @@ func runFig15(l *Lab, o Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig15", Title: "Efficiency on evolving platforms with SPECjbb (normalized to ALL-AU on GenA)", Columns: cols}
 
+	var specs []RunSpec
+	for _, plat := range platform.All() {
+		for _, scheme := range []string{"ALL-AU", "AUM"} {
+			for _, s := range scens {
+				spec := RunSpec{Plat: plat, Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &jbb}
+				if scheme == "ALL-AU" {
+					spec.BE = nil
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	if err := l.Prewarm(specs, o); err != nil {
+		return nil, err
+	}
+
 	var base float64
 	for _, plat := range platform.All() {
 		for _, scheme := range []string{"ALL-AU", "AUM"} {
@@ -174,6 +190,30 @@ func runFig16(l *Lab, o Options) (*Table, error) {
 	beList := workload.CoRunners()
 	t := &Table{ID: "fig16", Title: "Decomposed performance: AU vs ALL-AU, shared vs RP-AU (scenario-averaged)",
 		Columns: []string{"AU-perf", "Compute", "OLAP", "SPECjbb"}}
+
+	// Fan the whole (scheme x scenario x co-runner) matrix plus the
+	// reference runs out before reading anything back from the cache.
+	var specs []RunSpec
+	for _, s := range scens {
+		specs = append(specs, RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: "ALL-AU", Scen: s})
+		for i := range beList {
+			specs = append(specs, RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: "RP-AU", Scen: s, BE: &beList[i]})
+		}
+	}
+	for _, scheme := range SchemeNames {
+		for _, s := range scens {
+			for i := range beList {
+				spec := RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &beList[i]}
+				if scheme == "ALL-AU" {
+					spec.BE = nil
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	if err := l.Prewarm(specs, o); err != nil {
+		return nil, err
+	}
 
 	// References.
 	auRef := make(map[string]float64) // scenario -> ALL-AU weighted AU perf
@@ -231,6 +271,19 @@ func runFig17(l *Lab, o Options) (*Table, error) {
 		cols = append(cols, "TPOT-"+s.Name)
 	}
 	t := &Table{ID: "fig17", Title: "SLO guarantee ratio when sharing with SPECjbb", Columns: cols}
+	var specs []RunSpec
+	for _, scheme := range SchemeNames {
+		for _, s := range scens {
+			spec := RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: s, BE: &jbb}
+			if scheme == "ALL-AU" {
+				spec.BE = nil
+			}
+			specs = append(specs, spec)
+		}
+	}
+	if err := l.Prewarm(specs, o); err != nil {
+		return nil, err
+	}
 	for _, scheme := range SchemeNames {
 		ttft := make([]float64, 0, len(scens))
 		tpot := make([]float64, 0, len(scens))
@@ -264,7 +317,15 @@ func runFig18(l *Lab, o Options) (*Table, error) {
 		cols = append(cols, fmt.Sprintf("mba-p%.0f", q*100))
 	}
 	t := &Table{ID: "fig18", Title: "Shared-application allocation distribution (SPECjbb + cb)", Columns: cols}
-	for _, scheme := range []string{"RP-AU", "AU-RB", "AUM"} {
+	schemes := []string{"RP-AU", "AU-RB", "AUM"}
+	specs := make([]RunSpec, len(schemes))
+	for i, scheme := range schemes {
+		specs[i] = RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: scen, BE: &jbb, TrackAlloc: true}
+	}
+	if err := l.Prewarm(specs, o); err != nil {
+		return nil, err
+	}
+	for _, scheme := range schemes {
 		res, err := l.Run(RunSpec{Plat: platform.GenA(), Model: llm.Llama2_7B(), Scheme: scheme, Scen: scen, BE: &jbb, TrackAlloc: true}, o)
 		if err != nil {
 			return nil, err
@@ -306,15 +367,25 @@ func runSens(l *Lab, o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, pr := range []struct{ a, b float64 }{{1.8, 0.2}, {0.9, 0.1}} {
-		mgr, err := core.NewAUM(auv, core.Options{Alpha: pr.a, Beta: pr.b})
+	prices := []struct{ a, b float64 }{{1.8, 0.2}, {0.9, 0.1}}
+	priced := make([]colo.Result, len(prices))
+	err = l.Parallel(len(prices), func(i int) error {
+		mgr, err := core.NewAUM(auv, core.Options{Alpha: prices[i].a, Beta: prices[i].b})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runDirect(plat, model, scen, &comp, mgr, horizon, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		priced[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pr := range prices {
+		res := priced[i]
 		p := metrics.Prices{Alpha: pr.a, Beta: pr.b, Gamma: comp.RevenuePrice}
 		ea := metrics.Efficiency(p, res.PerfH, res.PerfL, res.PerfN, res.Watts)
 		es := metrics.Efficiency(p, smt.PerfH, smt.PerfL, smt.PerfN, smt.Watts)

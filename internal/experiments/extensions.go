@@ -26,13 +26,15 @@ func init() {
 
 // runCluster compares the three balancing policies over a mixed
 // GenA+GenC fleet sharing SPECjbb under RP-per-node management.
-func runCluster(_ *Lab, o Options) (*Table, error) {
+func runCluster(l *Lab, o Options) (*Table, error) {
 	o = o.withDefaults()
 	horizon, _, _ := o.horizons()
 	jbb := workload.SPECjbb()
 	t := &Table{ID: "cluster", Title: "Heterogeneous fleet (GenA + HBM GenB) sharing SPECjbb under pressure",
 		Columns: []string{"eff", "TPOT-guar", "TTFT-guar", "imbalance", "watts"}}
-	for _, pol := range []cluster.Policy{cluster.RoundRobin, cluster.LeastQueued, cluster.AUVAware} {
+	policies := []cluster.Policy{cluster.RoundRobin, cluster.LeastQueued, cluster.AUVAware}
+	results := make([]cluster.Result, len(policies))
+	err := l.Parallel(len(policies), func(i int) error {
 		res, err := cluster.Run(cluster.Config{
 			// GenB's HBM gives it ~3x GenA's decode capacity; an even
 			// split overloads GenA at this aggregate rate while GenB
@@ -42,14 +44,22 @@ func runCluster(_ *Lab, o Options) (*Table, error) {
 			Model:    llm.Llama2_7B(),
 			Scen:     trace.Chatbot(),
 			BE:       &jbb,
-			Policy:   pol,
+			Policy:   policies[i],
 			Managers: []colo.Manager{&manager.RPAU{}, &manager.RPAU{}},
 			HorizonS: horizon, Seed: o.Seed,
 			RatePerS: 2.0,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policies {
+		res := results[i]
 		t.AddRow(pol.String(), res.Eff, res.TPOTGuar, res.TTFTGuar, res.Imbalance, res.Watts)
 	}
 	t.AddNote("the AUV-aware policy routes load toward per-machine AU capacity headroom instead of raw queue depth")
@@ -81,25 +91,39 @@ func runOnline(l *Lab, o Options) (*Table, error) {
 
 	t := &Table{ID: "online", Title: "AUM under post-profiling co-runner drift (SPECjbb at 2x intensity)",
 		Columns: []string{"eff", "TPOT-guar", "jbb-kops", "watts", "refines"}}
-	for _, mode := range []struct {
+	modes := []struct {
 		name   string
 		online bool
-	}{{"offline-model", false}, {"online-refine", true}} {
+	}{{"offline-model", false}, {"online-refine", true}}
+	type onlineOut struct {
+		res     colo.Result
+		refines int
+	}
+	outs := make([]onlineOut, len(modes))
+	err = l.Parallel(len(modes), func(i int) error {
 		// Work on a copy: refinement mutates the bucket table.
 		cp := *auv
 		cp.Buckets = append([]core.Bucket(nil), auv.Buckets...)
-		mgr, err := core.NewAUM(&cp, core.Options{OnlineRefine: mode.online})
+		mgr, err := core.NewAUM(&cp, core.Options{OnlineRefine: modes[i].online})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := colo.Run(colo.Config{
 			Plat: plat, Model: model, Scen: scen, BE: &drifted,
 			Manager: mgr, HorizonS: horizon, Seed: o.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(mode.name, res.Eff, res.TPOTGuarantee, res.PerfN/1e3, res.Watts, float64(mgr.RefineSteps))
+		outs[i] = onlineOut{res: res, refines: mgr.RefineSteps}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		res := outs[i].res
+		t.AddRow(mode.name, res.Eff, res.TPOTGuarantee, res.PerfN/1e3, res.Watts, float64(outs[i].refines))
 	}
 	t.AddNote("refinement folds measured tails and shared throughput back into the active bucket (EMA)")
 	return t, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,8 @@ import (
 	"aum/internal/llm"
 	"aum/internal/manager"
 	"aum/internal/platform"
+	"aum/internal/rng"
+	"aum/internal/runner"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -41,30 +44,51 @@ func NewLab() *Lab {
 	return &Lab{
 		models:  make(map[string]*modelEntry),
 		runs:    make(map[string]*runEntry),
-		workers: 8,
+		workers: defaultWorkers,
 	}
 }
 
-// Parallel runs fn(i) for i in [0, n) across the lab's worker budget
-// and returns the first error.
-func (l *Lab) Parallel(n int, fn func(int) error) error {
-	sem := make(chan struct{}, l.workers)
-	errCh := make(chan error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errCh <- err
-			}
-		}(i)
+// SetWorkers sets the fan-out width for Parallel; n <= 0 restores the
+// default. The width never changes results — the runner's determinism
+// contract (DESIGN.md §6) guarantees experiment tables are identical at
+// any width — only how many scenarios simulate concurrently.
+func (l *Lab) SetWorkers(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		n = defaultWorkers
 	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
+	l.workers = n
+}
+
+// Workers reports the current fan-out width.
+func (l *Lab) Workers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.workers
+}
+
+const defaultWorkers = 8
+
+// Parallel runs fn(i) for i in [0, n) across the lab's worker budget.
+// Error selection is deterministic: the lowest-indexed failure is
+// returned regardless of completion order (the runner's contract), and
+// a panicking cell surfaces as a *runner.PanicError instead of taking
+// the process down.
+func (l *Lab) Parallel(n int, fn func(int) error) error {
+	return runner.ForEach(context.Background(), n, runner.Options{Workers: l.Workers()},
+		func(_ context.Context, i int, _ *rng.Stream) error { return fn(i) })
+}
+
+// Prewarm executes the given runs across the worker pool so that the
+// subsequent (order-sensitive) table-building loop is served entirely
+// from the lab cache. Experiments keep their sequential row order while
+// the simulations behind the rows fan out.
+func (l *Lab) Prewarm(specs []RunSpec, o Options) error {
+	return l.Parallel(len(specs), func(i int) error {
+		_, err := l.Run(specs[i], o)
+		return err
+	})
 }
 
 // Model returns (profiling on first use) the AUV model for the

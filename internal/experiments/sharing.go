@@ -49,43 +49,54 @@ func runFig9(l *Lab, o Options) (*Table, error) {
 	o = o.withDefaults()
 	horizon, _, _ := o.horizons()
 
-	// Exclusive reference.
-	excl, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen,
-		Manager: smtShare{K: 0}, HorizonS: horizon, Seed: o.Seed})
+	// Cell 0 is the exclusive reference; the rest are the sharing cells.
+	type cell struct {
+		label string
+		be    *workload.Profile
+		k     int
+	}
+	cells := []cell{{label: "exclusive"}}
+	olap := workload.OLAP()
+	for _, k := range []int{24, 48, 72, 96} {
+		cells = append(cells, cell{fmt.Sprintf("OLAP-k%d", k), &olap, k})
+	}
+	coRunners := workload.CoRunners()
+	for i := range coRunners {
+		cells = append(cells, cell{coRunners[i].Name + "-k96", &coRunners[i], plat.Cores})
+	}
+
+	type out struct {
+		res  colo.Result
+		solo float64
+	}
+	outs := make([]out, len(cells))
+	err := l.Parallel(len(cells), func(i int) error {
+		c := cells[i]
+		res, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen, BE: c.be,
+			Manager: smtShare{K: c.k}, HorizonS: horizon, Seed: o.Seed})
+		if err != nil {
+			return err
+		}
+		outs[i].res = res
+		if c.be != nil {
+			outs[i].solo = soloRate(plat, *c.be, c.k, o)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	t := &Table{ID: "fig9", Title: "SMT sharing: AU slowdown and shared-app degradation",
 		Columns: []string{"AU-TPOT-x", "AU-TTFT-x", "shared-vs-alone"}}
-
-	run := func(label string, be workload.Profile, k int) error {
-		res, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen, BE: &be,
-			Manager: smtShare{K: k}, HorizonS: horizon, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
-		solo := soloRate(plat, be, k, o)
+	excl := outs[0].res
+	for i, c := range cells[1:] {
+		res, solo := outs[i+1].res, outs[i+1].solo
 		rel := 0.0
 		if solo > 0 {
 			rel = res.PerfN / solo
 		}
-		t.AddRow(label, ratio(res.MeanTPOT, excl.MeanTPOT), ratio(res.MeanTTFT, excl.MeanTTFT), rel)
-		return nil
-	}
-
-	// (a) OLAP pressure sweep.
-	olap := workload.OLAP()
-	for _, k := range []int{24, 48, 72, 96} {
-		if err := run(fmt.Sprintf("OLAP-k%d", k), olap, k); err != nil {
-			return nil, err
-		}
-	}
-	// (b) application types at full pressure.
-	for _, be := range workload.CoRunners() {
-		if err := run(be.Name+"-k96", be, plat.Cores); err != nil {
-			return nil, err
-		}
+		t.AddRow(c.label, ratio(res.MeanTPOT, excl.MeanTPOT), ratio(res.MeanTTFT, excl.MeanTTFT), rel)
 	}
 	t.AddNote("paper: OLAP at full pressure slows AU >2x (memory contention); Compute causes ~40%% via frequency; shared apps lose >40%%")
 	return t, nil
@@ -168,7 +179,7 @@ func (r rpManager) Setup(e *colo.Env) error {
 	return nil
 }
 
-func runFig10(_ *Lab, o Options) (*Table, error) {
+func runFig10(l *Lab, o Options) (*Table, error) {
 	plat := platform.GenA()
 	model := llm.Llama2_7B()
 	scen := trace.Chatbot()
@@ -186,16 +197,22 @@ func runFig10(_ *Lab, o Options) (*Table, error) {
 	}
 	t := &Table{ID: "fig10", Title: "LLM performance under resource partitioning (normalized to no isolation)",
 		Columns: []string{"goodput", "TPOT-x", "sharedKops"}}
-	var base colo.Result
-	for i, v := range variants {
+	results := make([]colo.Result, len(variants))
+	err := l.Parallel(len(variants), func(i int) error {
 		res, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen, BE: &jbb,
-			Manager: rpManager{v: v}, HorizonS: horizon, Seed: o.Seed})
+			Manager: rpManager{v: variants[i]}, HorizonS: horizon, Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if i == 0 {
-			base = res
-		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, v := range variants {
+		res := results[i]
 		t.AddRow(v.name, ratio(res.PerfL, base.PerfL), ratio(res.MeanTPOT, base.MeanTPOT), res.PerfN/1e3)
 	}
 	t.AddNote("isolating single backend resources relieves AU slightly; inclusive partitioning helps most but is not optimal")
@@ -216,27 +233,39 @@ func (d divManager) Setup(e *colo.Env) error {
 	return manager.PlaceLLM(e, d.div.Split(e.Plat.Cores), manager.COSLLM, manager.COSLLM)
 }
 
-func runFig12(_ *Lab, o Options) (*Table, error) {
+func runFig12(l *Lab, o Options) (*Table, error) {
 	plat := platform.GenA()
 	model := llm.Llama2_7B()
 	scen := trace.Chatbot()
 	o = o.withDefaults()
 	horizon, _, _ := o.horizons()
 
-	excl, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen,
-		Manager: manager.AllAU{}, HorizonS: horizon, Seed: o.Seed})
+	// Scenario 0 is the exclusive all-core reference; the rest are the
+	// candidate dividings.
+	divs := core.Divisions()
+	results := make([]colo.Result, len(divs)+1)
+	err := l.Parallel(len(results), func(i int) error {
+		var mgr colo.Manager = manager.AllAU{}
+		if i > 0 {
+			mgr = divManager{div: divs[i-1]}
+		}
+		res, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen,
+			Manager: mgr, HorizonS: horizon, Seed: o.Seed})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	excl := results[0]
 	t := &Table{ID: "fig12", Title: "AU performance and frequency lower bounds per dividing (vs exclusive all-core)",
 		Columns: []string{"prefill-rel", "decode-rel", "freqH", "freqL"}}
 	t.AddRow("exclusive", 1, 1, excl.MeanGHzPrefill, excl.MeanGHzDecode)
-	for _, d := range core.Divisions() {
-		res, err := colo.Run(colo.Config{Plat: plat, Model: model, Scen: scen,
-			Manager: divManager{div: d}, HorizonS: horizon, Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
+	for i, d := range divs {
+		res := results[i+1]
 		t.AddRow(d.Name, ratio(res.PerfH, excl.PerfH), ratio(res.PerfL, excl.PerfL),
 			res.MeanGHzPrefill, res.MeanGHzDecode)
 	}

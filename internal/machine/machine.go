@@ -17,7 +17,6 @@ package machine
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"aum/internal/cache"
 	"aum/internal/membw"
@@ -212,6 +211,8 @@ type COSConfig struct {
 }
 
 // Sample is the per-step telemetry record consumed by perfmon.
+// TaskFreqGHz aliases a per-machine buffer that is overwritten by the
+// next step: samplers must copy out any values they want to keep.
 type Sample struct {
 	Now          float64
 	PackageWatts float64
@@ -226,6 +227,37 @@ type task struct {
 	wl    Workload
 	place Placement
 	stats TaskStats
+}
+
+// region is one frequency-governor region formed during a step: a
+// slot-0 task plus any SMT siblings merged in.
+type region struct {
+	primary int // index into m.tasks
+	class   power.Class
+	util    float64
+}
+
+// stepScratch holds every per-step working buffer so that steady-state
+// stepping allocates nothing. Buffers are sized on first use and grow
+// only when the task population does.
+type stepScratch struct {
+	envs      []Env
+	demands   []Demand
+	eff       []int
+	regions   []region
+	regionOf  []int
+	loads     []power.RegionLoad
+	cosCores  []int
+	cosDemand []float64
+	cosWeight []float64
+	cosCap    []float64
+	taskGrant []float64
+	idx       []int     // per-COS member indices, reused across classes
+	dem       []float64 // per-COS member demands
+	wts       []float64 // per-COS member weights
+	cosArb    membw.Arbiter
+	taskArb   membw.Arbiter
+	freq      map[TaskID]float64 // reused Sample.TaskFreqGHz backing map
 }
 
 // Machine is one simulated socket.
@@ -249,6 +281,8 @@ type Machine struct {
 	lastWatts    float64
 	lastLinkUtil float64
 	sampler      func(Sample)
+
+	scratch stepScratch
 }
 
 // NumCOS is the number of classes of service, matching RDT's common
@@ -547,33 +581,32 @@ func (m *Machine) Step(dt float64) {
 		return
 	}
 
-	// Stable order for determinism.
-	sort.Slice(m.tasks, func(i, j int) bool { return m.tasks[i].id < m.tasks[j].id })
+	// Task order is stable by construction: AddTask assigns monotonic
+	// ids and appends, and RemoveTask preserves relative order, so
+	// m.tasks is always sorted by id and stepping is deterministic.
 
 	// Pass 1: provisional environments for demand estimation. Use the
 	// class-license frequency and the full COS bandwidth cap. A task
 	// whose cores are all offline is dormant: zero demand, no step.
-	envs := make([]Env, n)
-	demands := make([]Demand, n)
-	eff := make([]int, n)
+	sc := &m.scratch
+	envs := resizeSlice(&sc.envs, n)
+	demands := resizeSlice(&sc.demands, n)
+	eff := resizeSlice(&sc.eff, n)
 	llcPart := cache.Partition{TotalMB: m.plat.TotalLLCMB(), Ways: m.plat.LLC.Ways}
 	for i, t := range m.tasks {
 		eff[i] = m.effCores(t.place)
-		envs[i] = m.baseEnv(t, llcPart)
+		m.fillBaseEnv(&envs[i], t, llcPart)
 		envs[i].Cores = eff[i]
 		if eff[i] > 0 {
 			demands[i] = t.wl.Demand(envs[i])
+		} else {
+			demands[i] = Demand{}
 		}
 	}
 
 	// Frequency regions: one per slot-0 task; siblings merge in.
-	type region struct {
-		primary int // index into m.tasks
-		class   power.Class
-		util    float64
-	}
-	regions := make([]region, 0, n)
-	regionOf := make([]int, n)
+	regions := resizeSlice(&sc.regions, n)[:0]
+	regionOf := resizeSlice(&sc.regionOf, n)
 	for i := range regionOf {
 		regionOf[i] = -1
 	}
@@ -612,7 +645,7 @@ func (m *Machine) Step(dt float64) {
 		// of its cores.
 		regionOf[i] = best
 	}
-	loads := make([]power.RegionLoad, len(regions))
+	loads := resizeSlice(&sc.loads, len(regions))
 	for j, r := range regions {
 		loads[j] = power.RegionLoad{
 			Cores: eff[r.primary],
@@ -629,27 +662,29 @@ func (m *Machine) Step(dt float64) {
 	if availBW < 1 {
 		availBW = 1
 	}
-	cosCores := make([]int, len(m.cos))
+	cosCores := resizeSlice(&sc.cosCores, len(m.cos))
+	cosDemand := resizeSlice(&sc.cosDemand, len(m.cos))
+	cosWeight := resizeSlice(&sc.cosWeight, len(m.cos))
+	cosCap := resizeSlice(&sc.cosCap, len(m.cos))
+	for c := range m.cos {
+		cosCores[c] = 0
+		cosDemand[c] = 0
+	}
 	for i, t := range m.tasks {
 		cosCores[t.place.COS] += eff[i]
-	}
-	cosDemand := make([]float64, len(m.cos))
-	cosWeight := make([]float64, len(m.cos))
-	cosCap := make([]float64, len(m.cos))
-	for i := range m.tasks {
-		c := m.tasks[i].place.COS
-		cosDemand[c] += demands[i].BWGBs
+		cosDemand[t.place.COS] += demands[i].BWGBs
 	}
 	for c := range m.cos {
 		cosWeight[c] = float64(cosCores[c])
 		cosCap[c] = m.cos[c].MBAFrac * availBW
 	}
-	cosGrants := membw.MaxMin(availBW, cosDemand, cosWeight, cosCap)
+	cosGrants := sc.cosArb.MaxMin(availBW, cosDemand, cosWeight, cosCap)
 	// Within each class, allot across its tasks.
-	taskGrant := make([]float64, n)
+	taskGrant := resizeSlice(&sc.taskGrant, n)
 	for c := range m.cos {
-		var idx []int
-		var dem, wts []float64
+		idx := sc.idx[:0]
+		dem := sc.dem[:0]
+		wts := sc.wts[:0]
 		for i, t := range m.tasks {
 			if t.place.COS != c {
 				continue
@@ -658,10 +693,11 @@ func (m *Machine) Step(dt float64) {
 			dem = append(dem, demands[i].BWGBs)
 			wts = append(wts, float64(eff[i]))
 		}
+		sc.idx, sc.dem, sc.wts = idx, dem, wts
 		if len(idx) == 0 {
 			continue
 		}
-		g := membw.MaxMin(cosGrants[c], dem, wts, nil)
+		g := sc.taskArb.MaxMin(cosGrants[c], dem, wts, nil)
 		for k, i := range idx {
 			taskGrant[i] = g[k]
 		}
@@ -711,7 +747,7 @@ func (m *Machine) Step(dt float64) {
 		st.AMXBusyInt += u.AMXBusy * dt
 		st.AVXBusyInt += u.AVXBusy * dt
 		st.EnergyJ += float64(eff[i]) *
-			power.CoreWatts(m.plat, demands[i].Class, u.Util, env.GHz) * dt
+			m.gov.CoreWatts(demands[i].Class, u.Util, env.GHz) * dt
 		st.Breakdown.Weighted(u.Breakdown, dt)
 	}
 
@@ -721,13 +757,17 @@ func (m *Machine) Step(dt float64) {
 	m.now += dt
 
 	if m.sampler != nil {
+		if sc.freq == nil {
+			sc.freq = make(map[TaskID]float64, n)
+		}
+		clear(sc.freq)
 		s := Sample{
 			Now:          m.now,
 			PackageWatts: sol.PackageWatts,
 			Throttled:    sol.Throttled,
 			Hotspot:      sol.Hotspot,
 			LinkUtil:     linkUtil,
-			TaskFreqGHz:  make(map[TaskID]float64, n),
+			TaskFreqGHz:  sc.freq,
 		}
 		for i, t := range m.tasks {
 			if regionOf[i] >= 0 {
@@ -738,26 +778,41 @@ func (m *Machine) Step(dt float64) {
 	}
 }
 
+// resizeSlice returns *s resized to n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite every element they read.
+func resizeSlice[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n, n+n/2+4)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
 // baseEnv builds the demand-estimation environment for a task.
 func (m *Machine) baseEnv(t *task, llcPart cache.Partition) Env {
+	var env Env
+	m.fillBaseEnv(&env, t, llcPart)
+	return env
+}
+
+// fillBaseEnv writes the demand-estimation environment for a task into
+// *env, avoiding a large-struct copy on the per-step path. Demand
+// estimation uses the scalar license as the optimistic frequency; the
+// governor refines it.
+func (m *Machine) fillBaseEnv(env *Env, t *task, llcPart cache.Partition) {
 	cosCfg := m.cos[t.place.COS]
-	class := power.Scalar
-	// Demand estimation uses the scalar license as the optimistic
-	// frequency; the governor refines it.
-	_ = class
 	l2 := float64(m.plat.L2.SizeKB) / 1024 * float64(t.place.Cores())
 	if m.hasSibling(t) {
 		l2 /= 2
 	}
-	return Env{
-		Plat:         m.plat,
-		Cores:        t.place.Cores(),
-		GHz:          power.LicenseCap(m.plat, power.Scalar),
-		ComputeShare: 1,
-		LLCMB:        llcPart.WaysMB(cosCfg.Ways.Count()),
-		L2MB:         l2,
-		BWGBs:        cosCfg.MBAFrac * m.plat.MemBWGBs,
-	}
+	env.Plat = m.plat
+	env.Cores = t.place.Cores()
+	env.GHz = power.LicenseCap(m.plat, power.Scalar)
+	env.ComputeShare = 1
+	env.LLCMB = llcPart.WaysMB(cosCfg.Ways.Count())
+	env.L2MB = l2
+	env.BWGBs = cosCfg.MBAFrac * m.plat.MemBWGBs
+	env.LinkUtil = 0
 }
 
 // hasSibling reports whether any task occupies the other SMT slot of

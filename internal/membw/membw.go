@@ -62,8 +62,32 @@ func Arbitrate(linkGBs float64, demands []Demand) []float64 {
 // demands, weights, and caps must have equal length; caps <= 0 mean
 // uncapped. The returned grants sum to at most linkGBs.
 func MaxMin(linkGBs float64, demands, weights, caps []float64) []float64 {
+	var a Arbiter
+	return a.MaxMin(linkGBs, demands, weights, caps)
+}
+
+// Arbiter runs MaxMin solves against reusable internal buffers, for
+// callers on the simulation hot path that arbitrate every time step.
+// The slice returned by MaxMin aliases the arbiter's scratch space and
+// is only valid until the next call on the same arbiter.
+type Arbiter struct {
+	grants []float64
+	want   []float64
+	active []bool
+}
+
+// MaxMin is the allocation-free variant of the package-level MaxMin.
+func (a *Arbiter) MaxMin(linkGBs float64, demands, weights, caps []float64) []float64 {
 	n := len(demands)
-	grants := make([]float64, n)
+	if cap(a.grants) < n {
+		a.grants = make([]float64, n)
+		a.want = make([]float64, n)
+		a.active = make([]bool, n)
+	}
+	grants := a.grants[:n]
+	for i := range grants {
+		grants[i] = 0
+	}
 	if linkGBs <= 0 || n == 0 {
 		return grants
 	}
@@ -81,8 +105,8 @@ func MaxMin(linkGBs float64, demands, weights, caps []float64) []float64 {
 		}
 		return 1 / maxW
 	}
-	want := make([]float64, n)
-	active := make([]bool, n)
+	want := a.want[:n]
+	active := a.active[:n]
 	remaining := linkGBs
 	activeWeight := 0.0
 	for i := range demands {
@@ -93,10 +117,20 @@ func MaxMin(linkGBs float64, demands, weights, caps []float64) []float64 {
 		if i < len(caps) && caps[i] > 0 && want[i] > caps[i] {
 			want[i] = caps[i]
 		}
-		if want[i] > 0 {
-			active[i] = true
+		active[i] = want[i] > 0
+		if active[i] {
 			activeWeight += wOf(i)
 		}
+	}
+	totalWant := 0.0
+	for i := range want {
+		totalWant += want[i]
+	}
+	if totalWant <= linkGBs {
+		// Undersubscribed link: weighted max-min satisfies every class
+		// exactly, so skip the share iteration.
+		copy(grants, want)
+		return grants
 	}
 	for iter := 0; iter < n+1; iter++ {
 		if remaining <= 0 || activeWeight <= 0 {

@@ -145,6 +145,37 @@ func CoreWatts(p platform.Platform, c Class, util, ghz float64) float64 {
 	return p.IdleCoreW + util*scale*classK(c)*math.Pow(ghz/p.BaseGHz, powerExp)
 }
 
+// powFactor memoizes math.Pow(ghz/base, powerExp). Every hit is
+// bit-identical to the direct computation.
+func (g *Governor) powFactor(ghz float64) float64 {
+	i := g.powMemo.slot(ghz)
+	if g.powMemo.ok[i] && g.powMemo.ghz[i] == ghz {
+		return g.powMemo.pf[i]
+	}
+	pf := math.Pow(ghz/g.plat.BaseGHz, powerExp)
+	g.powMemo.ghz[i], g.powMemo.pf[i], g.powMemo.ok[i] = ghz, pf, true
+	return pf
+}
+
+// CoreWatts is the memoized equivalent of the package-level CoreWatts
+// on the governor's platform, returning identical values.
+func (g *Governor) CoreWatts(c Class, util, ghz float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1.6 {
+		util = 1.6
+	}
+	if c == Idle || util == 0 || ghz <= 0 {
+		return g.plat.IdleCoreW
+	}
+	scale := g.plat.PowerScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return g.plat.IdleCoreW + util*scale*classK(c)*g.powFactor(ghz)
+}
+
 // RegionLoad describes one frequency region for a governor solve.
 type RegionLoad struct {
 	Cores int
@@ -166,6 +197,21 @@ type Solution struct {
 type Governor struct {
 	plat       platform.Platform
 	thermalAvg float64 // exponentially averaged package power
+	powMemo    powTable
+}
+
+// powTable is a fixed-size open-addressed memo of frequency power
+// factors. Governor solves only evaluate frequencies quantized to the
+// platform step, so a few dozen distinct values cover a whole run; a
+// colliding slot is simply overwritten (the memo is a pure cache).
+type powTable struct {
+	ghz [64]float64
+	pf  [64]float64
+	ok  [64]bool
+}
+
+func (t *powTable) slot(ghz float64) int {
+	return int((math.Float64bits(ghz) * 0x9e3779b97f4a7c15) >> 58)
 }
 
 // NewGovernor returns a governor for the platform.
@@ -191,7 +237,7 @@ func (g *Governor) packageWatts(regions []RegionLoad, freqs []float64) float64 {
 	total := g.plat.UncoreWatts
 	used := 0
 	for i, r := range regions {
-		total += float64(r.Cores) * CoreWatts(g.plat, r.Class, r.Util, freqs[i])
+		total += float64(r.Cores) * g.CoreWatts(r.Class, r.Util, freqs[i])
 		used += r.Cores
 	}
 	if idle := g.plat.Cores - used; idle > 0 {
@@ -263,7 +309,7 @@ func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
 		if r.Util < hotspotMinUtil {
 			continue
 		}
-		if CoreWatts(g.plat, r.Class, r.Util, freqs[i]) < hotspotPerCoreW {
+		if g.CoreWatts(r.Class, r.Util, freqs[i]) < hotspotPerCoreW {
 			continue
 		}
 		hotspot = true

@@ -26,6 +26,29 @@ func (s *Stream) Split() *Stream {
 	return &Stream{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// Derive returns the stream for a labelled child of a root seed. The
+// seed is a pure function of (root, labels): two calls with the same
+// arguments return identically-seeded streams no matter when, where, or
+// in which order they are made. This is what makes parallel experiment
+// execution deterministic — worker count and completion order cannot
+// influence which stream a scenario receives, unlike Split, whose
+// children depend on how many draws preceded them.
+//
+// Label vectors of different lengths and values map to well-separated
+// seeds: each label is folded in through a full SplitMix64 finalizer
+// round, so (root, [1]) and (root, [0, 1]) disagree in ~half their seed
+// bits.
+func Derive(root uint64, labels ...uint64) *Stream {
+	h := root ^ 0x9e3779b97f4a7c15
+	for _, l := range labels {
+		h += 0x9e3779b97f4a7c15 + l
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return &Stream{state: h}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

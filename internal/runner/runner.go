@@ -1,0 +1,154 @@
+// Package runner executes independent simulation scenarios across a
+// worker pool with a determinism contract: the result of a run is a
+// pure function of (inputs, seed), never of the worker count, the
+// scheduling order, or which worker picked up which scenario.
+//
+// The contract rests on three rules (see DESIGN.md §6):
+//
+//  1. Seeds are derived, not drawn. Scenario i receives
+//     rng.Derive(seed, i) — a pure function of the root seed and the
+//     scenario index — so completion order cannot shift anyone's
+//     random stream.
+//  2. Results are collected by index. Map returns results[i] for
+//     scenario i regardless of completion order.
+//  3. Errors are ordered. When several scenarios fail, the error of
+//     the lowest-indexed one is returned, so the reported failure does
+//     not depend on scheduling races.
+//
+// Panics inside a scenario are isolated: they are converted into
+// errors carrying the scenario index and stack, and do not take down
+// sibling scenarios or the caller.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"aum/internal/rng"
+)
+
+// Options configure a pool invocation.
+type Options struct {
+	// Workers is the fan-out width; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Seed is the root seed scenario streams derive from (rule 1).
+	Seed uint64
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError is a scenario panic converted into an ordinary error.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: scenario %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map runs fn(ctx, i, stream_i) for every i in [0, n) across the pool
+// and returns the results ordered by index. stream_i is
+// rng.Derive(o.Seed, i); fn must take all of its randomness from it
+// (or from further Derive calls) for the determinism contract to hold.
+//
+// On error or panic the lowest-indexed failure is returned, the shared
+// context passed to still-pending scenarios is cancelled, and
+// scenarios that were already running are allowed to finish. A nil
+// error guarantees every slot of the result slice was filled by fn.
+func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Context, i int, r *rng.Stream) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n <= 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := o.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = run(ctx, i, o.Seed, fn, &results[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Dispatch is in index order, so every scenario below the first
+	// real failure was already executing when the pool cancelled: the
+	// lowest-indexed non-cancellation error is the same under any
+	// worker count. Cancellation errors only ever sit above it (skipped
+	// or aborted siblings) — report them only when nothing failed for a
+	// reason of its own (i.e. the parent context was cancelled).
+	var cancelled error
+	cancelledAt := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return results, fmt.Errorf("runner: scenario %d: %w", i, err)
+		}
+		if cancelled == nil {
+			cancelled, cancelledAt = err, i
+		}
+	}
+	if cancelled != nil {
+		return results, fmt.Errorf("runner: scenario %d: %w", cancelledAt, cancelled)
+	}
+	return results, nil
+}
+
+// run executes one scenario with panic isolation.
+func run[T any](ctx context.Context, i int, seed uint64, fn func(context.Context, int, *rng.Stream) (T, error), out *T) (err error) {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	v, err := fn(ctx, i, rng.Derive(seed, uint64(i)))
+	if err != nil {
+		return err
+	}
+	*out = v
+	return nil
+}
+
+// ForEach is Map for scenarios that produce no result value.
+func ForEach(ctx context.Context, n int, o Options, fn func(ctx context.Context, i int, r *rng.Stream) error) error {
+	_, err := Map(ctx, n, o, func(ctx context.Context, i int, r *rng.Stream) (struct{}, error) {
+		return struct{}{}, fn(ctx, i, r)
+	})
+	return err
+}

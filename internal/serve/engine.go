@@ -75,6 +75,12 @@ type Engine struct {
 
 	prefill *Worker
 	decode  *Worker
+
+	// Job-formation buffers. At most one job per phase is in flight
+	// (each worker owns its phase), so each buffer can be reused for
+	// the next job of that phase once the previous one completed.
+	prefillReqs []*Request
+	decodeReqs  []*Request
 }
 
 // NewEngine creates an engine and its two phase workers.
@@ -219,8 +225,8 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 	if n > len(e.queue) {
 		n = len(e.queue)
 	}
-	reqs := make([]*Request, n)
-	copy(reqs, e.queue[:n])
+	reqs := append(e.prefillReqs[:0], e.queue[:n]...)
+	e.prefillReqs = reqs
 	e.queue = append(e.queue[:0], e.queue[n:]...)
 	totalTokens := 0
 	for _, r := range reqs {
@@ -242,8 +248,8 @@ func (e *Engine) nextDecodeJob(now float64) *job {
 	if len(e.decodeSet) == 0 {
 		return nil
 	}
-	reqs := make([]*Request, len(e.decodeSet))
-	copy(reqs, e.decodeSet)
+	reqs := append(e.decodeReqs[:0], e.decodeSet...)
+	e.decodeReqs = reqs
 	ctx := 0
 	for _, r := range reqs {
 		ctx += r.PromptLen + r.TokensDone

@@ -30,6 +30,82 @@ type Worker struct {
 	busyTime  float64
 	idleTime  float64
 	completed int
+
+	costs   costCache
+	demands demandCache
+}
+
+// costKey identifies one CostIteration evaluation. Every plan a worker
+// executes comes from its engine's model via PlanPrefill/PlanDecode,
+// which are pure functions of (phase, batch, seqLen) — so those three
+// scalars identify the plan without comparing the whole struct. The
+// environment contributes exactly the fields the cost model reads; the
+// platform is deliberately excluded because a worker runs on one
+// machine for its whole life.
+type costKey struct {
+	phase  llm.Phase
+	batch  int
+	seqLen int
+	cores  int
+	ghz    float64
+	share  float64
+	llc    float64
+	bw     float64
+}
+
+func keyOf(p llm.IterationPlan, env machine.Env) costKey {
+	return costKey{phase: p.Phase, batch: p.Batch, seqLen: p.SeqLen,
+		cores: env.Cores, ghz: env.GHz,
+		share: env.ComputeShare, llc: env.LLCMB, bw: env.BWGBs}
+}
+
+// costCache memoizes CostIteration over the last few (plan, env)
+// pairs. The machine evaluates each worker up to three times per step
+// (demand estimation, bandwidth appetite, execution) under environments
+// that repeat between control-interval boundaries, so a tiny
+// direct-search cache removes most of the roofline math from the hot
+// loop without changing a single result.
+type costCache struct {
+	keys [4]costKey
+	cost [4]llm.IterationCost
+	ok   [4]bool
+	next int
+}
+
+func (c *costCache) get(p llm.IterationPlan, env machine.Env) llm.IterationCost {
+	k := keyOf(p, env)
+	for i := range c.keys {
+		if c.ok[i] && c.keys[i] == k {
+			return c.cost[i]
+		}
+	}
+	v := llm.CostIteration(p, env)
+	c.keys[c.next], c.cost[c.next], c.ok[c.next] = k, v, true
+	c.next = (c.next + 1) % len(c.keys)
+	return v
+}
+
+// demandCache memoizes DemandOf, whose result is independent of the
+// granted bandwidth (it evaluates the plan under infinite bandwidth).
+type demandCache struct {
+	keys [2]costKey
+	gbs  [2]float64
+	ok   [2]bool
+	next int
+}
+
+func (c *demandCache) get(p llm.IterationPlan, env machine.Env) float64 {
+	k := keyOf(p, env)
+	k.bw = 0 // DemandOf ignores the bandwidth grant
+	for i := range c.keys {
+		if c.ok[i] && c.keys[i] == k {
+			return c.gbs[i]
+		}
+	}
+	v := llm.DemandOf(p, env)
+	c.keys[c.next], c.gbs[c.next], c.ok[c.next] = k, v, true
+	c.next = (c.next + 1) % len(c.keys)
+	return v
 }
 
 // Name implements machine.Workload.
@@ -106,7 +182,7 @@ func (w *Worker) Demand(env machine.Env) machine.Demand {
 	} else {
 		plan = w.eng.cfg.Model.PlanDecode(w.eng.DecodeBatch(), 512)
 	}
-	cost := llm.CostIteration(plan, env)
+	cost := w.costs.get(plan, env)
 	class := power.AVXHeavy
 	if cost.AMXBusy > 0.08 {
 		class = power.AMXHeavy
@@ -114,7 +190,7 @@ func (w *Worker) Demand(env machine.Env) machine.Demand {
 	return machine.Demand{
 		Class: class,
 		Util:  cost.Util,
-		BWGBs: llm.DemandOf(plan, env),
+		BWGBs: w.demands.get(plan, env),
 	}
 }
 
@@ -130,7 +206,7 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 			u.Util += spinUtil * left
 			break
 		}
-		cost := llm.CostIteration(j.plan, env)
+		cost := w.costs.get(j.plan, env)
 		w.lastCost = cost
 		if cost.TotalS <= 0 {
 			cost.TotalS = 1e-9

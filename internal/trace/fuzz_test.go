@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the recorded-trace loader: arbitrary file contents
+// must produce a descriptive error or a validated trace, never a panic
+// and never a silently-invalid result. Run with
+//
+//	go test ./internal/trace -fuzz FuzzLoad
+//
+// The seed corpus (f.Add plus testdata/fuzz/FuzzLoad) is replayed by a
+// plain `go test` run, so regressions are caught without -fuzz.
+func FuzzLoad(f *testing.F) {
+	// A well-formed recorded trace.
+	valid := Record(Chatbot(), 7, 3)
+	dir := f.TempDir()
+	validPath := filepath.Join(dir, "valid.json")
+	if err := valid.Save(validPath); err != nil {
+		f.Fatal(err)
+	}
+	validJSON, err := os.ReadFile(validPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validJSON)
+	// Truncation, syntax damage, and semantic damage.
+	f.Add(validJSON[:len(validJSON)/2])
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"scenario":"cb","requests":null}`))
+	f.Add([]byte(`{"requests":[{"arrival":0,"prompt_len":8,"output_len":8}]}`))
+	f.Add([]byte(`{"scenario":"cb","requests":[{"arrival":-1,"prompt_len":8,"output_len":8}]}`))
+	f.Add([]byte(`{"scenario":"cb","requests":[{"arrival":0,"prompt_len":0,"output_len":8}]}`))
+	f.Add([]byte(`{"scenario":"cb","requests":[{"arrival":2,"prompt_len":8,"output_len":8},{"arrival":1,"prompt_len":8,"output_len":8}]}`))
+	f.Add([]byte(`{"scenario":"cb","requests":[{"arrival":1e308,"prompt_len":99999999,"output_len":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "trace.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Load(path)
+		if err != nil {
+			if !strings.Contains(err.Error(), "trace:") {
+				t.Fatalf("error lost its package context: %v", err)
+			}
+			return
+		}
+		// Anything accepted must be replayable: validated and
+		// re-validatable after a save/load round trip.
+		if rec.Scenario == "" {
+			t.Fatal("loader accepted a trace without a scenario")
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("loader returned an invalid trace: %v", err)
+		}
+	})
+}
