@@ -34,6 +34,7 @@ import (
 	"aum/internal/manager"
 	"aum/internal/platform"
 	"aum/internal/serve"
+	"aum/internal/telemetry"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -78,6 +79,14 @@ type (
 	// ViolationWindow is one contiguous span of measured SLO violation
 	// in a RunResult.
 	ViolationWindow = colo.ViolationWindow
+	// TelemetryRegistry collects counters, gauges, histograms, and the
+	// structured event ring across the stack (set RunConfig.Telemetry).
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a deep, immutable copy of a registry tree.
+	TelemetrySnapshot = telemetry.Snapshot
+	// ChromeTrace buffers Chrome trace_event records for chrome://tracing
+	// (set RunConfig.TraceSink).
+	ChromeTrace = telemetry.Trace
 )
 
 // Platforms returns the three evaluated platforms (Table I).
@@ -154,6 +163,15 @@ func NewBoundOnly(m *AUVModel, opt ControllerOptions) (Manager, error) { return 
 // Run executes one co-location experiment: the LLM serving engine plus
 // an optional co-runner under the given manager on a simulated machine.
 func Run(cfg RunConfig) (RunResult, error) { return colo.Run(cfg) }
+
+// NewTelemetryRegistry returns an empty metric/event registry to wire
+// into RunConfig.Telemetry. Telemetry observes a run without changing
+// its results (DESIGN.md §7).
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewChromeTrace returns an empty trace_event buffer to wire into
+// RunConfig.TraceSink; write it out with WriteFile for chrome://tracing.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewTrace() }
 
 // RecordTrace materializes horizon seconds of a scenario's request
 // stream so runs can replay identical inputs (set RunConfig.Trace).

@@ -14,7 +14,12 @@
 //
 // Every run also emits a machine-readable timing report (BENCH_results
 // schema below) to -bench-out, so CI can archive wall-clock trends next
-// to the tables.
+// to the tables. The timings are first folded into telemetry gauges
+// (aumbench_experiment_wall_seconds{id="..."}) and the report is built
+// from that snapshot, so the gauges and the JSON cannot disagree.
+//
+// -trace writes a Chrome trace_event file from one instrumented
+// co-location run (see trace.go); open it in chrome://tracing.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"aum/internal/experiments"
+	"aum/internal/telemetry"
 )
 
 // benchReport is the BENCH_results.json schema.
@@ -47,18 +53,28 @@ type experimentTimed struct {
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		quick    = flag.Bool("quick", false, "reduced horizons (seconds instead of minutes)")
-		seed     = flag.Uint64("seed", 42, "root random seed")
-		format   = flag.String("format", "text", "output format: text | csv")
-		workers  = flag.Int("workers", 0, "per-experiment fan-out width (0 = default); never changes results")
-		benchOut = flag.String("bench-out", "BENCH_results.json", "timing report path ('' disables)")
+		list      = flag.Bool("list", false, "list available experiments")
+		run       = flag.String("run", "", "experiment id to run, or 'all'")
+		quick     = flag.Bool("quick", false, "reduced horizons (seconds instead of minutes)")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+		format    = flag.String("format", "text", "output format: text | csv")
+		workers   = flag.Int("workers", 0, "per-experiment fan-out width (0 = default); never changes results")
+		benchOut  = flag.String("bench-out", "BENCH_results.json", "timing report path ('' disables)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event file from one instrumented run ('' disables)")
 	)
 	flag.StringVar(run, "experiment", "", "alias for -run")
 	flag.Parse()
 
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, *seed, 8); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *list || *run == "" {
+		if *run == "" && !*list && *tracePath != "" {
+			return // -trace alone is a complete invocation
+		}
 		fmt.Println("available experiments:")
 		for _, e := range experiments.Registry() {
 			fmt.Printf("  %-9s %-14s %s\n", e.ID, "("+e.Paper+")", e.Title)
@@ -86,10 +102,11 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
-	report := benchReport{
-		Suite: "aumbench", Quick: *quick, Seed: *seed,
-		Workers: lab.Workers(), GoMaxProcs: runtime.GOMAXPROCS(0),
-	}
+	// Per-experiment wall clocks land in gauges first; the JSON report
+	// below is rendered from the snapshot so there is one source of
+	// truth. (Wall time is allowed here — it annotates the run, it
+	// never enters a result table.)
+	benchTel := telemetry.NewRegistry()
 	suiteStart := time.Now()
 	for _, e := range todo {
 		start := time.Now()
@@ -99,7 +116,7 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start).Seconds()
-		report.Experiments = append(report.Experiments, experimentTimed{ID: e.ID, Paper: e.Paper, WallS: wall})
+		benchTel.Gauge(fmt.Sprintf("aumbench_experiment_wall_seconds{id=%q}", e.ID)).Set(wall)
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
 			continue
@@ -107,8 +124,19 @@ func main() {
 		fmt.Print(tbl.Render())
 		fmt.Printf("(%s reproduces %s; %.1fs)\n\n", e.ID, e.Paper, wall)
 	}
-	report.TotalS = time.Since(suiteStart).Seconds()
-	if *benchOut != "" {
+	benchTel.Gauge("aumbench_suite_wall_seconds").Set(time.Since(suiteStart).Seconds())
+
+	snap := benchTel.Snapshot()
+	report := benchReport{
+		Suite: "aumbench", Quick: *quick, Seed: *seed,
+		Workers: lab.Workers(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, e := range todo {
+		w, _ := snap.GaugeValue(fmt.Sprintf("aumbench_experiment_wall_seconds{id=%q}", e.ID))
+		report.Experiments = append(report.Experiments, experimentTimed{ID: e.ID, Paper: e.Paper, WallS: w})
+	}
+	report.TotalS, _ = snap.GaugeValue("aumbench_suite_wall_seconds")
+	if *benchOut != "" && len(report.Experiments) > 0 {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aum/internal/colo"
+	"aum/internal/core"
+	"aum/internal/experiments"
+	"aum/internal/llm"
+	"aum/internal/platform"
+	"aum/internal/telemetry"
+	"aum/internal/trace"
+	"aum/internal/workload"
+)
+
+// writeTrace runs one fully instrumented co-location — GenA serving
+// Llama2-7B on the chatbot scenario with SPECjbb under the AUM
+// controller — and dumps a Chrome trace_event file loadable in
+// chrome://tracing or Perfetto. The trace carries the serving engine's
+// queue/prefill/decode spans per request, the controller's division
+// phases, and per-tick counter rows for queue depth, batch size,
+// package power, and link utilization.
+//
+// All timestamps are simulated time, so the file is identical across
+// machines and runs (DESIGN.md §7).
+func writeTrace(path string, seed uint64, horizonS float64) error {
+	plat := platform.GenA()
+	model := llm.Llama2_7B()
+	scen, err := trace.ByName("cb")
+	if err != nil {
+		return err
+	}
+	be := workload.SPECjbb()
+
+	lab := experiments.NewLab()
+	auv, err := lab.Model(plat, model, scen, be, experiments.Options{Quick: true, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("profiling AUV model: %w", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace()
+	mgr, err := core.NewAUM(auv, core.Options{Watchdog: true, Telemetry: reg, Trace: tr})
+	if err != nil {
+		return err
+	}
+	if _, err := colo.Run(colo.Config{
+		Plat: plat, Model: model, Scen: scen, BE: &be,
+		Manager: mgr, HorizonS: horizonS, Seed: seed,
+		Telemetry: reg, TraceSink: tr,
+	}); err != nil {
+		return err
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d trace events, %.0fs simulated)\n", path, tr.Len(), horizonS)
+	return nil
+}

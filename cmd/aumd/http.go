@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net"
+	"net/http"
+
+	"aum/internal/telemetry"
+)
+
+// serveTelemetry exposes the registry over HTTP for the lifetime of
+// the listener:
+//
+//	/metrics  Prometheus text exposition (0.0.4) of a fresh snapshot
+//	/events   the structured event ring as JSON, oldest first
+//	/healthz  liveness probe
+//
+// Every request snapshots the registry, so responses are internally
+// consistent even while the simulation is mutating metrics.
+func serveTelemetry(ln net.Listener, reg *telemetry.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, reg.Snapshot()); err != nil {
+			log.Printf("aumd: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		s := reg.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		resp := struct {
+			Events  []telemetry.ScopedEvent `json:"events"`
+			Dropped uint64                  `json:"dropped"`
+		}{Events: s.Events, Dropped: s.DroppedEvents}
+		if resp.Events == nil {
+			resp.Events = []telemetry.ScopedEvent{}
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			log.Printf("aumd: /events: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	if err := http.Serve(ln, mux); err != nil {
+		log.Printf("aumd: http server: %v", err)
+	}
+}

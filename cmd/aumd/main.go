@@ -5,50 +5,102 @@
 //
 //	aumd -auv auv_model.json -scenario cb -corunner SPECjbb -duration 60
 //
-// Every reporting interval it prints the serving SLO status, the
-// co-runner throughput, the current processor division, and the
-// CAT/MBA grant chosen by the collision-aware tuner.
+// Every reporting interval it renders a status line from the telemetry
+// registry (DESIGN.md §7): the serving SLO status, the current
+// processor division, the CAT/MBA grant chosen by the collision-aware
+// tuner, and the watchdog state. With -http the same registry is
+// served live over /metrics (Prometheus text), /events (JSON), and
+// /healthz for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 
 	"aum"
 	"aum/internal/colo"
 	"aum/internal/core"
+	"aum/internal/telemetry"
 )
 
-// reportingManager wraps the AUM controller to print per-second status
-// lines while delegating every decision.
-type reportingManager struct {
+// snapshotReporter wraps the AUM controller to render per-interval
+// status lines while delegating every decision. Unlike a bespoke
+// printf wrapper, every number comes from the telemetry registry, so
+// the console, /metrics, and the trace all agree by construction.
+type snapshotReporter struct {
 	inner  *core.AUM
 	model  *core.Model
+	reg    *telemetry.Registry
 	everyS float64
 	nextAt float64
 }
 
-func (r *reportingManager) Name() string      { return r.inner.Name() }
-func (r *reportingManager) Interval() float64 { return r.inner.Interval() }
+func (r *snapshotReporter) Name() string      { return r.inner.Name() }
+func (r *snapshotReporter) Interval() float64 { return r.inner.Interval() }
 
-func (r *reportingManager) Setup(e *colo.Env) error { return r.inner.Setup(e) }
+func (r *snapshotReporter) Setup(e *colo.Env) error { return r.inner.Setup(e) }
 
-func (r *reportingManager) Tick(e *colo.Env, now float64) error {
+func (r *snapshotReporter) Tick(e *colo.Env, now float64) error {
 	if err := r.inner.Tick(e, now); err != nil {
 		return err
 	}
 	if now >= r.nextAt {
 		r.nextAt = now + r.everyS
-		st := e.Engine.Stats()
-		ways, mba := r.inner.Allocation()
-		div := r.model.Divisions[r.inner.Division()].Name
-		fmt.Printf("t=%5.1fs div=%-11s beWays=%2d beMBA=%3d%% ttftG=%4.1f%% tpotG=%4.1f%% batch=%2d delta=%.2f switches=%d\n",
-			now, div, ways, mba,
-			100*st.TTFTGuarantee(), 100*st.TPOTGuarantee(),
-			e.Engine.DecodeBatch(), r.inner.LastDelta, r.inner.Switches)
+		fmt.Println(renderStatus(r.reg.Snapshot(), r.model, now))
 	}
 	return nil
+}
+
+// renderStatus formats one console status line purely from a registry
+// snapshot. It is a function of the snapshot (plus the AUV model for
+// division names) so tests can drive it without a live run.
+func renderStatus(s telemetry.Snapshot, model *core.Model, now float64) string {
+	divName := "?"
+	if d, ok := s.GaugeValue("aum_ctrl_division"); ok {
+		if i := int(d); i >= 0 && i < len(model.Divisions) {
+			divName = model.Divisions[i].Name
+		}
+	}
+	ways, _ := s.GaugeValue("aum_ctrl_be_ways")
+	mba, _ := s.GaugeValue("aum_ctrl_be_mba_percent")
+	delta, _ := s.GaugeValue("aum_ctrl_delta")
+	batch, _ := s.GaugeValue("aum_serve_decode_batch")
+	switches, _ := s.CounterValue("aum_ctrl_division_switches_total")
+	return fmt.Sprintf("t=%5.1fs div=%-11s beWays=%2.0f beMBA=%3.0f%% ttftG=%4.1f%% tpotG=%4.1f%% batch=%2.0f delta=%.2f switches=%d wd=%s",
+		now, divName, ways, mba,
+		100*sloRatio(s, "aum_serve_ttft_met_total", "aum_serve_prefills_total"),
+		100*sloRatio(s, "aum_serve_tpot_met_total", "aum_serve_decode_tokens_total"),
+		batch, delta, switches, watchdogStatus(s))
+}
+
+// sloRatio returns met/total from two counters, 1.0 when nothing has
+// been measured yet (matching serve.Stats semantics: no sample, no
+// violation).
+func sloRatio(s telemetry.Snapshot, met, total string) float64 {
+	m, _ := s.CounterValue(met)
+	t, _ := s.CounterValue(total)
+	if t == 0 {
+		return 1
+	}
+	return float64(m) / float64(t)
+}
+
+// watchdogStatus renders the SLO watchdog from its gauges: "off" when
+// the watchdog never reported (not enabled), "ok" when armed but not
+// engaged, and SAFE(hold=N,trips=M) while parked in the safe division.
+func watchdogStatus(s telemetry.Snapshot) string {
+	active, ok := s.GaugeValue("aum_ctrl_watchdog_active")
+	if !ok {
+		return "off"
+	}
+	if active == 0 {
+		return "ok"
+	}
+	hold, _ := s.GaugeValue("aum_ctrl_watchdog_hold_ticks")
+	trips, _ := s.CounterValue("aum_ctrl_watchdog_trips_total")
+	return fmt.Sprintf("SAFE(hold=%.0f,trips=%d)", hold, trips)
 }
 
 func main() {
@@ -59,6 +111,8 @@ func main() {
 		duration = flag.Float64("duration", 60, "simulated seconds")
 		report   = flag.Float64("report", 1, "status interval in seconds")
 		seed     = flag.Uint64("seed", 42, "root random seed")
+		httpAddr = flag.String("http", "", "serve /metrics, /events, /healthz on this address (e.g. 127.0.0.1:9090)")
+		watchdog = flag.Bool("watchdog", false, "enable the SLO watchdog safe mode")
 	)
 	flag.Parse()
 
@@ -86,21 +140,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	inner, err := core.NewAUM(auv, core.Options{})
+	reg := telemetry.NewRegistry()
+
+	// Bind before the run so a bad -http address fails fast instead of
+	// after simulating the whole horizon.
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
+		go serveTelemetry(ln, reg)
+	}
+
+	inner, err := core.NewAUM(auv, core.Options{Watchdog: *watchdog, Telemetry: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mgr := &reportingManager{inner: inner, model: auv, everyS: *report}
+	mgr := &snapshotReporter{inner: inner, model: auv, reg: reg, everyS: *report}
 
 	fmt.Printf("aumd: %s serving %s under %s, sharing with %s\n",
 		plat.Name, model.Name, scen.Name, be.Name)
 	res, err := aum.Run(aum.RunConfig{
 		Plat: plat, Model: model, Scen: scen, BE: &be,
 		Manager: mgr, HorizonS: *duration, Seed: *seed,
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfinal: %.1f tok/s decode (%.1f%% in SLO), %.0f %s units/s harvested, %.0f W, efficiency %.4f\n",
 		res.RawPerfL, 100*res.TPOTGuarantee, res.PerfN, be.Name, res.Watts, res.Eff)
+
+	if *httpAddr != "" {
+		fmt.Printf("aumd: run finished; still serving telemetry on %s (interrupt to exit)\n", *httpAddr)
+		select {}
+	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aum/internal/core"
+	"aum/internal/telemetry"
+)
+
+func testModel() *core.Model {
+	return &core.Model{Divisions: []core.Division{
+		{Name: "au-lean"}, {Name: "balanced"}, {Name: "au-rich"},
+	}}
+}
+
+// TestRenderStatus drives the status renderer with a synthetic
+// registry: every field of the line must come from the snapshot.
+func TestRenderStatus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("aum_ctrl_division").Set(1)
+	reg.Gauge("aum_ctrl_be_ways").Set(4)
+	reg.Gauge("aum_ctrl_be_mba_percent").Set(50)
+	reg.Gauge("aum_ctrl_delta").Set(1.25)
+	reg.Gauge("aum_serve_decode_batch").Set(7)
+	for i := 0; i < 10; i++ {
+		reg.Counter("aum_serve_prefills_total").Inc()
+		reg.Counter("aum_serve_decode_tokens_total").Inc()
+	}
+	for i := 0; i < 9; i++ {
+		reg.Counter("aum_serve_ttft_met_total").Inc()
+	}
+	for i := 0; i < 5; i++ {
+		reg.Counter("aum_serve_tpot_met_total").Inc()
+	}
+	reg.Counter("aum_ctrl_division_switches_total").Inc()
+
+	line := renderStatus(reg.Snapshot(), testModel(), 3.5)
+	for _, want := range []string{
+		"t=  3.5s", "div=balanced", "beWays= 4", "beMBA= 50%",
+		"ttftG=90.0%", "tpotG=50.0%", "batch= 7", "delta=1.25",
+		"switches=1", "wd=off",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+// TestRenderStatusEmpty: before any sample the renderer reports 100%
+// SLO goodness (no sample, no violation) and never panics on missing
+// metrics.
+func TestRenderStatusEmpty(t *testing.T) {
+	line := renderStatus(telemetry.NewRegistry().Snapshot(), testModel(), 0)
+	for _, want := range []string{"ttftG=100.0%", "tpotG=100.0%", "div=?", "wd=off"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("empty-snapshot line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+// TestWatchdogStatus covers the three watchdog renderings.
+func TestWatchdogStatus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if got := watchdogStatus(reg.Snapshot()); got != "off" {
+		t.Errorf("no gauge: wd=%s, want off", got)
+	}
+	reg.Gauge("aum_ctrl_watchdog_active").Set(0)
+	if got := watchdogStatus(reg.Snapshot()); got != "ok" {
+		t.Errorf("inactive: wd=%s, want ok", got)
+	}
+	reg.Gauge("aum_ctrl_watchdog_active").Set(1)
+	reg.Gauge("aum_ctrl_watchdog_hold_ticks").Set(40)
+	reg.Counter("aum_ctrl_watchdog_trips_total").Inc()
+	reg.Counter("aum_ctrl_watchdog_trips_total").Inc()
+	if got := watchdogStatus(reg.Snapshot()); got != "SAFE(hold=40,trips=2)" {
+		t.Errorf("active: wd=%s, want SAFE(hold=40,trips=2)", got)
+	}
+}

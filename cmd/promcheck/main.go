@@ -1,0 +1,37 @@
+// Command promcheck validates Prometheus text exposition format
+// (version 0.0.4) from a file or stdin. CI pipes aumd's /metrics
+// endpoint through it to catch exposition regressions:
+//
+//	curl -s localhost:9090/metrics | promcheck
+//	promcheck metrics.txt
+//
+// Exit status is non-zero on the first malformed line, a sample
+// preceding its TYPE header, or an empty scrape.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"aum/internal/telemetry"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 && os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	if err := telemetry.ValidatePrometheus(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: OK\n", name)
+}

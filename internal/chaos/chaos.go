@@ -35,6 +35,7 @@ import (
 
 	"aum/internal/machine"
 	"aum/internal/serve"
+	"aum/internal/telemetry"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -177,6 +178,22 @@ type Injector struct {
 	pos     int
 	applied []Applied
 	burstID int
+
+	tel     *telemetry.Registry
+	faults  *telemetry.Counter
+	revertC *telemetry.Counter
+}
+
+// SetTelemetry attaches a registry: every fault application and revert
+// emits a "chaos" event and bumps the per-kind fault counters.
+func (in *Injector) SetTelemetry(reg *telemetry.Registry) {
+	in.tel = reg
+	if reg == nil {
+		in.faults, in.revertC = nil, nil
+		return
+	}
+	in.faults = reg.Counter("aum_chaos_faults_total")
+	in.revertC = reg.Counter("aum_chaos_reverts_total")
 }
 
 // NewInjector validates the schedule and binds it to a target.
@@ -272,6 +289,11 @@ func (in *Injector) apply(ev Event, now float64, submit func(*serve.Request) err
 		}
 	}
 	in.applied = append(in.applied, Applied{Now: now, Event: ev})
+	in.faults.Inc()
+	in.tel.Emit(now, "chaos", "fault-inject",
+		telemetry.F("kind", ev.Kind.String()),
+		telemetry.Ff("at", ev.At),
+		telemetry.Ff("duration_s", ev.Duration))
 	return nil
 }
 
@@ -293,6 +315,8 @@ func (in *Injector) revert(ev Event, now float64) error {
 		in.tgt.M.SetBWPressure(0)
 	}
 	in.applied = append(in.applied, Applied{Now: now, Event: ev, Revert: true})
+	in.revertC.Inc()
+	in.tel.Emit(now, "chaos", "fault-revert", telemetry.F("kind", ev.Kind.String()))
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"aum/internal/platform"
 	"aum/internal/rdt"
 	"aum/internal/serve"
+	"aum/internal/telemetry"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -110,6 +111,17 @@ type Config struct {
 	// Admission is the serving engine's overload policy (zero value =
 	// the paper's unbounded scheduler).
 	Admission serve.Admission
+
+	// Telemetry, when set, is wired through the whole stack: the engine
+	// records latency histograms, the machine exports power/bandwidth
+	// gauges, RDT logs regrants, chaos tags faults, and the run itself
+	// publishes per-tick queue/batch gauges. Telemetry never feeds back
+	// into control decisions, so enabling it cannot change results.
+	Telemetry *telemetry.Registry
+
+	// TraceSink, when set, collects Chrome trace_event spans (request
+	// lifecycles, division phases, per-tick counter tracks).
+	TraceSink *telemetry.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -295,8 +307,14 @@ func Run(cfg Config) (Result, error) {
 	m := machine.New(cfg.Plat)
 	mon := perfmon.NewMonitor(0)
 	mon.Attach(m)
+	m.SetTelemetry(cfg.Telemetry)
+	if cfg.TraceSink != nil {
+		cfg.TraceSink.SetProcessName(telemetry.PIDServe, "serving engine")
+		cfg.TraceSink.SetProcessName(telemetry.PIDMachine, "machine")
+	}
 
-	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO, Admission: cfg.Admission})
+	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO, Admission: cfg.Admission,
+		Telemetry: cfg.Telemetry, Trace: cfg.TraceSink})
 	var emit func(now, dt float64) []*serve.Request
 	if cfg.Trace != nil {
 		emit = trace.NewReplayer(cfg.Trace).Emit
@@ -316,6 +334,7 @@ func Run(cfg Config) (Result, error) {
 		Scen:   cfg.Scen,
 		Mon:    mon,
 	}
+	env.RDT.SetTelemetry(cfg.Telemetry)
 	gamma := 0.0
 	if cfg.BE != nil {
 		env.BEApp = workload.New(*cfg.BE, cfg.Seed+7)
@@ -335,12 +354,21 @@ func Run(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		inj.SetTelemetry(cfg.Telemetry)
 	}
 	sloMon := newViolationMonitor(cfg.Scen.SLO, cfg.WarmupS)
 
 	interval := cfg.Manager.Interval()
 	nextTick := interval
 	var alloc []AllocSample
+
+	// Per-tick serving gauges, refreshed just before the manager's Tick
+	// so status renderers and /metrics scrapes see the same inputs the
+	// controller acted on. Handles are nil-safe no-ops when telemetry
+	// is off.
+	gQueueLen := cfg.Telemetry.Gauge("aum_serve_queue_len")
+	gDecodeBatch := cfg.Telemetry.Gauge("aum_serve_decode_batch")
+	gHeadWait := cfg.Telemetry.Gauge("aum_serve_head_wait_seconds")
 
 	var basePrefill, baseDecode, baseBE machine.TaskStats
 	baseEnergy, baseTime := 0.0, 0.0
@@ -373,6 +401,19 @@ func Run(cfg Config) (Result, error) {
 			sloMon.observe(now, eng.HeadWait(now), eng.Stats())
 		}
 		if interval > 0 && now >= nextTick {
+			gQueueLen.Set(float64(eng.QueueLen()))
+			gDecodeBatch.Set(float64(eng.DecodeBatch()))
+			gHeadWait.Set(eng.HeadWait(now))
+			if cfg.TraceSink != nil {
+				cfg.TraceSink.CounterSample("serving", telemetry.PIDMachine, now, map[string]float64{
+					"queue":        float64(eng.QueueLen()),
+					"decode_batch": float64(eng.DecodeBatch()),
+				})
+				cfg.TraceSink.CounterSample("machine", telemetry.PIDMachine, now, map[string]float64{
+					"watts":     m.LastWatts(),
+					"link_util": m.LastLinkUtil(),
+				})
+			}
 			if err := cfg.Manager.Tick(env, now); err != nil {
 				return Result{}, fmt.Errorf("colo: %s tick: %w", cfg.Manager.Name(), err)
 			}

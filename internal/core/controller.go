@@ -9,6 +9,7 @@ import (
 	"aum/internal/machine"
 	"aum/internal/manager"
 	"aum/internal/rdt"
+	"aum/internal/telemetry"
 )
 
 // Options tune the runtime controller.
@@ -42,6 +43,13 @@ type Options struct {
 	// intervals (default 20, i.e. 1 s). Each unsuccessful re-probe
 	// doubles the hold, capped at 16x.
 	WatchdogHoldTicks int
+	// Telemetry, when set, receives the controller's decision audit log
+	// (inputs -> delta -> action events), allocation gauges, and
+	// watchdog state. Nil disables recording.
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives division-phase spans on the controller
+	// row of a Chrome trace.
+	Trace *telemetry.Trace
 	// OnlineRefine enables continuous refinement of the AUV model from
 	// runtime measurements — the extension Section VII-D names as the
 	// prototype's limitation ("reliance on runtime controlling rather
@@ -116,6 +124,8 @@ type AUM struct {
 	// Interval measurement state for online refinement.
 	lastBEWork float64
 	lastNow    float64
+
+	tel ctrlTelemetry
 }
 
 // WatchdogState is a snapshot of the SLO watchdog.
@@ -148,7 +158,9 @@ func NewAUM(model *Model, opt Options) (*AUM, error) {
 		return nil, err
 	}
 	opt = opt.withDefaults()
-	return &AUM{model: model, opt: opt, wdBackoff: opt.WatchdogHoldTicks}, nil
+	a := &AUM{model: model, opt: opt, wdBackoff: opt.WatchdogHoldTicks}
+	a.tel = newCtrlTelemetry(opt.Telemetry, opt.Trace)
+	return a, nil
 }
 
 // Name implements colo.Manager.
@@ -170,6 +182,7 @@ func (a *AUM) Setup(e *colo.Env) error {
 	a.curDiv = div
 	a.beWays = a.model.Configs[cfg].BEWays
 	a.beMBA = a.model.Configs[cfg].BEMBA
+	a.tel.setup(div, a.beWays, a.beMBA)
 
 	sp := a.model.Divisions[div].Split(e.Plat.Cores)
 	if err := manager.PlaceLLM(e, sp, manager.COSLLM, manager.COSLLM); err != nil {
@@ -266,6 +279,7 @@ func feasibleBounds(m *Model, sloTTFT, sloTPOT float64) (float64, float64) {
 
 // applyAllocation programs the current (beWays, beMBA) through RDT.
 func (a *AUM) applyAllocation(e *colo.Env) error {
+	a.tel.allocation(a.curDiv, a.beWays, a.beMBA)
 	return ApplyConfig(e, ResourceConfig{BEWays: a.beWays, BEMBA: a.beMBA})
 }
 
@@ -290,6 +304,7 @@ func (a *AUM) boundAllocation(e *colo.Env) {
 // Tick implements colo.Manager: Algorithm 1.
 func (a *AUM) Tick(e *colo.Env, now float64) error {
 	a.tick++
+	a.tel.ticks.Inc()
 
 	// Stage 1 — slack-aware SLO analysis (lines 1-3).
 	sloH, sloL := e.Engine.RuntimeSLOs(now)
@@ -320,6 +335,7 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 		delta = wH*safeRatio(mTTFT, sloH) + wL*safeRatio(mTPOT, sloL)
 	}
 	a.LastDelta = delta
+	a.tel.delta.Set(delta)
 
 	// Graceful degradation: sustained violation hands control to the
 	// watchdog, which parks the machine in the safe division until
@@ -327,8 +343,11 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 	// tuner is suspended — oscillating the co-runner's grant during an
 	// incident only prolongs it.
 	if a.opt.Watchdog {
-		engaged, err := a.watchdog(e, meets)
+		engaged, err := a.watchdog(e, now, meets)
 		if engaged || err != nil {
+			if err == nil {
+				a.tel.decision(now, "watchdog-hold", mTTFT, mTPOT, sloH, sloL, delta, meets)
+			}
 			return err
 		}
 	}
@@ -340,7 +359,7 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 		// the controller into unconstrained mode on every queue spike.
 		div, _ := a.bestBucket(e.Scen.SLO.TTFT, e.Scen.SLO.TPOT)
 		if div != a.curDiv {
-			if err := a.switchDivision(e, div); err != nil {
+			if err := a.switchDivision(e, div, now); err != nil {
 				return err
 			}
 		}
@@ -354,6 +373,7 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 
 	// Stage 3 — collision-aware allocation tuning (lines 7-15).
 	if !e.HasBE() {
+		a.tel.decision(now, "hold", mTTFT, mTPOT, sloH, sloL, delta, meets)
 		return nil
 	}
 	sens := a.model.Sensitivities(a.curDiv)
@@ -395,6 +415,13 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 		}
 	}
 	a.boundAllocation(e)
+	if meets {
+		a.tel.harvestSteps.Inc()
+		a.tel.decision(now, "harvest", mTTFT, mTPOT, sloH, sloL, delta, meets)
+	} else {
+		a.tel.returnSteps.Inc()
+		a.tel.decision(now, "return", mTTFT, mTPOT, sloH, sloL, delta, meets)
+	}
 	return a.applyAllocation(e)
 }
 
@@ -411,9 +438,10 @@ func (a *AUM) Tick(e *colo.Env, now float64) error {
 // backoff reset, a violating one doubles the hold (capped at 16x) and
 // keeps the machine parked. The exponential backoff prevents flapping
 // between safe mode and an allocation that immediately re-violates.
-func (a *AUM) watchdog(e *colo.Env, meets bool) (engaged bool, err error) {
+func (a *AUM) watchdog(e *colo.Env, now float64, meets bool) (engaged bool, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	defer func() { a.tel.watchdogState(a.wdActive, a.wdHold) }()
 	if !a.wdActive {
 		if meets {
 			a.wdViolations = 0
@@ -427,8 +455,12 @@ func (a *AUM) watchdog(e *colo.Env, meets bool) (engaged bool, err error) {
 		a.wdActive = true
 		a.wdHold = a.wdBackoff
 		a.wdTrips++
+		a.tel.wdTrips.Inc()
+		a.tel.event(now, "watchdog-trip",
+			telemetry.Fi("violations", a.wdViolations),
+			telemetry.Fi("hold_ticks", a.wdHold))
 		if a.curDiv != 0 {
-			if err := a.switchDivision(e, 0); err != nil {
+			if err := a.switchDivision(e, 0, now); err != nil {
 				return true, err
 			}
 		}
@@ -445,6 +477,7 @@ func (a *AUM) watchdog(e *colo.Env, meets bool) (engaged bool, err error) {
 		a.wdActive = false
 		a.wdViolations = 0
 		a.wdBackoff = a.opt.WatchdogHoldTicks
+		a.tel.event(now, "watchdog-recovered")
 		return false, nil
 	}
 	// Still violating after the hold: back off exponentially.
@@ -453,6 +486,7 @@ func (a *AUM) watchdog(e *colo.Env, meets bool) (engaged bool, err error) {
 		a.wdBackoff = max
 	}
 	a.wdHold = a.wdBackoff
+	a.tel.event(now, "watchdog-probe-fail", telemetry.Fi("hold_ticks", a.wdHold))
 	return true, nil
 }
 
@@ -486,6 +520,7 @@ func (a *AUM) refine(e *colo.Env, now, mTTFT, mTPOT float64) {
 		}
 	}
 	a.RefineSteps++
+	a.tel.refineSteps.Inc()
 }
 
 // nearestConfig maps the tuner's fine-grained (ways, MBA) state onto
@@ -504,7 +539,7 @@ func (a *AUM) nearestConfig() int {
 
 // switchDivision re-pins all tasks to the new division's regions
 // atomically.
-func (a *AUM) switchDivision(e *colo.Env, div int) error {
+func (a *AUM) switchDivision(e *colo.Env, div int, now float64) error {
 	sp := a.model.Divisions[div].Split(e.Plat.Cores)
 	regions := []rdt.Region{
 		{ID: e.PrefillID, Lo: sp.HiLo, Hi: sp.HiHi},
@@ -516,6 +551,7 @@ func (a *AUM) switchDivision(e *colo.Env, div int) error {
 	if err := e.RDT.PinAll(regions); err != nil {
 		return fmt.Errorf("core: switching to division %d: %w", div, err)
 	}
+	a.tel.divisionSwitch(now, a.curDiv, div)
 	a.curDiv = div
 	a.Switches++
 	return nil

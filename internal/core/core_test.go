@@ -278,7 +278,7 @@ func TestWatchdogTripHoldBackoffRecover(t *testing.T) {
 	env := watchdogEnv(t, aum)
 
 	step := func(meets bool) bool {
-		engaged, err := aum.watchdog(env, meets)
+		engaged, err := aum.watchdog(env, 0, meets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -355,7 +355,7 @@ func TestWatchdogBackoffCap(t *testing.T) {
 	env := watchdogEnv(t, aum)
 	// Never recover: the hold must saturate at 16x the base.
 	for i := 0; i < 500; i++ {
-		if _, err := aum.watchdog(env, false); err != nil {
+		if _, err := aum.watchdog(env, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -379,7 +379,7 @@ func TestWatchdogStateConcurrentRead(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 200; i++ {
-		if _, err := aum.watchdog(env, i%2 == 0); err != nil {
+		if _, err := aum.watchdog(env, 0, i%2 == 0); err != nil {
 			t.Fatal(err)
 		}
 	}

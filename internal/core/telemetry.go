@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strconv"
+
+	"aum/internal/telemetry"
+)
+
+// ctrlTelemetry caches the controller's metric handles. All handles are
+// nil (and every method a no-op) when telemetry is off, so Tick pays
+// one nil check per record.
+type ctrlTelemetry struct {
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
+
+	ticks        *telemetry.Counter
+	switches     *telemetry.Counter
+	harvestSteps *telemetry.Counter
+	returnSteps  *telemetry.Counter
+	refineSteps  *telemetry.Counter
+	wdTrips      *telemetry.Counter
+
+	division *telemetry.Gauge
+	beWays   *telemetry.Gauge
+	beMBA    *telemetry.Gauge
+	delta    *telemetry.Gauge
+	wdActive *telemetry.Gauge
+	wdHold   *telemetry.Gauge
+	tracking bool // an open division span exists on the trace
+}
+
+func newCtrlTelemetry(reg *telemetry.Registry, trace *telemetry.Trace) ctrlTelemetry {
+	if reg == nil && trace == nil {
+		return ctrlTelemetry{}
+	}
+	return ctrlTelemetry{
+		reg:          reg,
+		trace:        trace,
+		ticks:        reg.Counter("aum_ctrl_ticks_total"),
+		switches:     reg.Counter("aum_ctrl_division_switches_total"),
+		harvestSteps: reg.Counter("aum_ctrl_harvest_steps_total"),
+		returnSteps:  reg.Counter("aum_ctrl_return_steps_total"),
+		refineSteps:  reg.Counter("aum_ctrl_refine_steps_total"),
+		wdTrips:      reg.Counter("aum_ctrl_watchdog_trips_total"),
+		division:     reg.Gauge("aum_ctrl_division"),
+		beWays:       reg.Gauge("aum_ctrl_be_ways"),
+		beMBA:        reg.Gauge("aum_ctrl_be_mba_percent"),
+		delta:        reg.Gauge("aum_ctrl_delta"),
+		wdActive:     reg.Gauge("aum_ctrl_watchdog_active"),
+		wdHold:       reg.Gauge("aum_ctrl_watchdog_hold_ticks"),
+	}
+}
+
+// setup records the statically chosen starting point and opens the
+// first division phase span.
+func (t *ctrlTelemetry) setup(div, ways, mba int) {
+	if t.reg != nil {
+		t.reg.Emit(0, "controller", "setup",
+			telemetry.Fi("division", div),
+			telemetry.Fi("be_ways", ways),
+			telemetry.Fi("be_mba", mba))
+	}
+	if t.trace != nil {
+		t.trace.SetProcessName(telemetry.PIDController, "aum controller")
+		t.trace.Begin("div:"+strconv.Itoa(div), "controller", telemetry.PIDController, 0, 0)
+		t.tracking = true
+	}
+	t.allocation(div, ways, mba)
+}
+
+// decision records one entry of the controller's audit log: the
+// measured inputs, the deviation, and the action Algorithm 1 took.
+func (t *ctrlTelemetry) decision(now float64, action string, mTTFT, mTPOT, sloH, sloL, delta float64, meets bool) {
+	if t.reg == nil {
+		return
+	}
+	t.reg.Emit(now, "controller", action,
+		telemetry.Ff("ttft_s", mTTFT),
+		telemetry.Ff("tpot_s", mTPOT),
+		telemetry.Ff("slo_h_s", sloH),
+		telemetry.Ff("slo_l_s", sloL),
+		telemetry.Ff("delta", delta),
+		telemetry.Fb("meets", meets))
+}
+
+// event appends a controller-category event to the audit ring.
+func (t *ctrlTelemetry) event(now float64, name string, fields ...telemetry.Field) {
+	t.reg.Emit(now, "controller", name, fields...)
+}
+
+// allocation publishes the co-runner grant gauges.
+func (t *ctrlTelemetry) allocation(div, ways, mba int) {
+	t.division.Set(float64(div))
+	t.beWays.Set(float64(ways))
+	t.beMBA.Set(float64(mba))
+}
+
+// divisionSwitch records the coarse division move: an audit event plus
+// a phase span boundary on the controller's trace row.
+func (t *ctrlTelemetry) divisionSwitch(now float64, from, to int) {
+	t.switches.Inc()
+	t.reg.Emit(now, "controller", "division-switch",
+		telemetry.Fi("from", from), telemetry.Fi("to", to))
+	if t.trace != nil {
+		if t.tracking {
+			t.trace.End(telemetry.PIDController, 0, now)
+		}
+		t.trace.Begin("div:"+strconv.Itoa(to), "controller", telemetry.PIDController, 0, now)
+		t.tracking = true
+	}
+}
+
+// watchdogState publishes the watchdog gauges.
+func (t *ctrlTelemetry) watchdogState(active bool, hold int) {
+	v := 0.0
+	if active {
+		v = 1
+	}
+	t.wdActive.Set(v)
+	t.wdHold.Set(float64(hold))
+}

@@ -12,6 +12,7 @@ import (
 	"aum/internal/platform"
 	"aum/internal/rng"
 	"aum/internal/runner"
+	"aum/internal/telemetry"
 	"aum/internal/trace"
 	"aum/internal/workload"
 )
@@ -25,6 +26,7 @@ type Lab struct {
 	models  map[string]*modelEntry
 	runs    map[string]*runEntry
 	workers int
+	tel     *telemetry.Registry
 }
 
 type modelEntry struct {
@@ -68,6 +70,21 @@ func (l *Lab) Workers() int {
 	return l.workers
 }
 
+// SetTelemetry attaches a registry: Parallel gives each cell a scope
+// (runner scoping), reachable inside cells via telemetry.FromContext.
+func (l *Lab) SetTelemetry(reg *telemetry.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tel = reg
+}
+
+// Telemetry returns the attached registry (nil when none).
+func (l *Lab) Telemetry() *telemetry.Registry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tel
+}
+
 const defaultWorkers = 8
 
 // Parallel runs fn(i) for i in [0, n) across the lab's worker budget.
@@ -76,7 +93,8 @@ const defaultWorkers = 8
 // a panicking cell surfaces as a *runner.PanicError instead of taking
 // the process down.
 func (l *Lab) Parallel(n int, fn func(int) error) error {
-	return runner.ForEach(context.Background(), n, runner.Options{Workers: l.Workers()},
+	return runner.ForEach(context.Background(), n,
+		runner.Options{Workers: l.Workers(), Telemetry: l.Telemetry()},
 		func(_ context.Context, i int, _ *rng.Stream) error { return fn(i) })
 }
 

@@ -281,6 +281,7 @@ type Machine struct {
 	lastWatts    float64
 	lastLinkUtil float64
 	sampler      func(Sample)
+	tel          *machTelemetry
 
 	scratch stepScratch
 }
@@ -317,6 +318,9 @@ func (m *Machine) EnergyJ() float64 { return m.energyJ }
 
 // LastWatts returns the package power of the most recent step.
 func (m *Machine) LastWatts() float64 { return m.lastWatts }
+
+// LastLinkUtil returns the memory-link utilization of the last step.
+func (m *Machine) LastLinkUtil() float64 { return m.lastLinkUtil }
 
 // OnSample registers a telemetry callback invoked after every step.
 func (m *Machine) OnSample(fn func(Sample)) { m.sampler = fn }
@@ -755,6 +759,10 @@ func (m *Machine) Step(dt float64) {
 	m.lastLinkUtil = linkUtil
 	m.energyJ += sol.PackageWatts * dt
 	m.now += dt
+
+	if m.tel != nil {
+		m.tel.record(m, sol, cosGrants, linkUtil, demands, regionOf)
+	}
 
 	if m.sampler != nil {
 		if sc.freq == nil {

@@ -15,6 +15,7 @@ import (
 
 	"aum/internal/cache"
 	"aum/internal/machine"
+	"aum/internal/telemetry"
 )
 
 // MBAStep is the hardware granularity of memory bandwidth allocation.
@@ -23,10 +24,35 @@ const MBAStep = 10
 // Controller exposes RDT-style resource control over one machine.
 type Controller struct {
 	m *machine.Machine
+
+	tel      *telemetry.Registry
+	regrants *telemetry.Counter
+	wayGauge []*telemetry.Gauge
+	mbaGauge []*telemetry.Gauge
 }
 
 // New returns a controller for the machine.
 func New(m *machine.Machine) *Controller { return &Controller{m: m} }
+
+// SetTelemetry attaches a registry: every *effective* CAT/MBA change
+// (a regrant that alters the programmed value, not the every-tick
+// reprogramming of an unchanged one) emits an event and bumps
+// aum_rdt_regrants_total, and per-COS gauges track the grant.
+func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel, c.regrants, c.wayGauge, c.mbaGauge = nil, nil, nil, nil
+		return
+	}
+	c.tel = reg
+	c.regrants = reg.Counter("aum_rdt_regrants_total")
+	c.wayGauge = make([]*telemetry.Gauge, machine.NumCOS)
+	c.mbaGauge = make([]*telemetry.Gauge, machine.NumCOS)
+	for i := 0; i < machine.NumCOS; i++ {
+		cos := fmt.Sprintf(`{cos="%d"}`, i)
+		c.wayGauge[i] = reg.Gauge("aum_rdt_ways" + cos)
+		c.mbaGauge[i] = reg.Gauge("aum_rdt_mba_percent" + cos)
+	}
+}
 
 // Machine returns the controlled machine.
 func (c *Controller) Machine() *machine.Machine { return c.m }
@@ -38,8 +64,22 @@ func (c *Controller) AllocateWays(cos, lo, hi int) error {
 	if !ok {
 		return fmt.Errorf("rdt: unknown COS %d", cos)
 	}
+	changed := cfg.Ways != (cache.Mask{Lo: lo, Hi: hi})
 	cfg.Ways = cache.Mask{Lo: lo, Hi: hi}
-	return c.m.SetCOS(cos, cfg)
+	if err := c.m.SetCOS(cos, cfg); err != nil {
+		return err
+	}
+	if c.tel != nil && cos < len(c.wayGauge) {
+		c.wayGauge[cos].Set(float64(cfg.Ways.Count()))
+		if changed {
+			c.regrants.Inc()
+			c.tel.Emit(c.m.Now(), "rdt", "cat-regrant",
+				telemetry.Fi("cos", cos),
+				telemetry.Fi("lo", lo),
+				telemetry.Fi("hi", hi))
+		}
+	}
+	return nil
 }
 
 // SetMBA sets a class's memory bandwidth throttle in percent. The
@@ -57,8 +97,21 @@ func (c *Controller) SetMBA(cos, percent int) error {
 		percent = 100
 	}
 	percent = ((percent + MBAStep - 1) / MBAStep) * MBAStep
+	changed := cfg.MBAFrac != float64(percent)/100
 	cfg.MBAFrac = float64(percent) / 100
-	return c.m.SetCOS(cos, cfg)
+	if err := c.m.SetCOS(cos, cfg); err != nil {
+		return err
+	}
+	if c.tel != nil && cos < len(c.mbaGauge) {
+		c.mbaGauge[cos].Set(float64(percent))
+		if changed {
+			c.regrants.Inc()
+			c.tel.Emit(c.m.Now(), "rdt", "mba-regrant",
+				telemetry.Fi("cos", cos),
+				telemetry.Fi("percent", percent))
+		}
+	}
+	return nil
 }
 
 // Assign moves a task into a class of service without changing its

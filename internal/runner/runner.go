@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"aum/internal/rng"
+	"aum/internal/telemetry"
 )
 
 // Options configure a pool invocation.
@@ -37,6 +38,13 @@ type Options struct {
 	Workers int
 	// Seed is the root seed scenario streams derive from (rule 1).
 	Seed uint64
+	// Telemetry, when set, gives every scenario its own scope: scenario
+	// i records into Telemetry.Child("s<i>") — reachable inside fn via
+	// telemetry.FromContext — so concurrent scenarios never share
+	// counters and a parent Snapshot still aggregates everything.
+	// Scope names derive from the index, not the worker, keeping the
+	// determinism contract.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) workers(n int) int {
@@ -89,7 +97,7 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = run(ctx, i, o.Seed, fn, &results[i])
+				errs[i] = run(ctx, i, o, fn, &results[i])
 				if errs[i] != nil {
 					cancel()
 				}
@@ -127,17 +135,24 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 	return results, nil
 }
 
-// run executes one scenario with panic isolation.
-func run[T any](ctx context.Context, i int, seed uint64, fn func(context.Context, int, *rng.Stream) (T, error), out *T) (err error) {
+// run executes one scenario with panic isolation and, when telemetry
+// is configured, its own per-index scope on the context.
+func run[T any](ctx context.Context, i int, o Options, fn func(context.Context, int, *rng.Stream) (T, error), out *T) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if o.Telemetry != nil {
+		scope := o.Telemetry.Child(fmt.Sprintf("s%03d", i))
+		scope.Counter("aum_runner_scenarios_total").Inc()
+		ctx = telemetry.NewContext(ctx, scope)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			o.Telemetry.Counter("aum_runner_panics_total").Inc()
 		}
 	}()
-	v, err := fn(ctx, i, rng.Derive(seed, uint64(i)))
+	v, err := fn(ctx, i, rng.Derive(o.Seed, uint64(i)))
 	if err != nil {
 		return err
 	}

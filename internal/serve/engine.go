@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"aum/internal/llm"
+	"aum/internal/telemetry"
 )
 
 // Config parameterizes an engine.
@@ -24,6 +25,13 @@ type Config struct {
 	PrefillChunk int
 	// Admission bounds the engine's queues under overload.
 	Admission Admission
+	// Telemetry, when set, receives per-request latency histograms and
+	// shed/timeout events. Nil disables recording at the cost of one
+	// nil check per hook.
+	Telemetry *telemetry.Registry
+	// Trace, when set, receives per-request queue/prefill/decode spans
+	// in Chrome trace_event form.
+	Trace *telemetry.Trace
 }
 
 // Admission is the engine's overload policy. The zero value admits
@@ -81,6 +89,8 @@ type Engine struct {
 	// the next job of that phase once the previous one completed.
 	prefillReqs []*Request
 	decodeReqs  []*Request
+
+	tel engineTelemetry
 }
 
 // NewEngine creates an engine and its two phase workers.
@@ -88,6 +98,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults()}
 	e.prefill = &Worker{eng: e, phase: llm.Prefill}
 	e.decode = &Worker{eng: e, phase: llm.Decode}
+	e.tel = newEngineTelemetry(e.cfg.Telemetry, e.cfg.Trace)
 	return e
 }
 
@@ -114,16 +125,19 @@ func (e *Engine) Submit(r *Request) error {
 	ad := e.cfg.Admission
 	if ad.MaxQueue > 0 && len(e.queue) >= ad.MaxQueue {
 		e.stats.Rejected++
+		e.tel.recordShed(r.Arrival, "max-queue")
 		return nil
 	}
 	if ad.MaxHeadWait > 0 && len(e.queue) > 0 && r.Arrival-e.queue[0].Arrival > ad.MaxHeadWait {
 		e.stats.Rejected++
+		e.tel.recordShed(r.Arrival, "max-head-wait")
 		return nil
 	}
 	if r.Deadline == 0 && ad.QueueDeadline > 0 {
 		r.Deadline = r.Arrival + ad.QueueDeadline
 	}
 	e.queue = append(e.queue, r)
+	e.tel.submitted.Inc()
 	return nil
 }
 
@@ -190,6 +204,7 @@ func (e *Engine) expireQueued(now float64) {
 	for _, r := range e.queue {
 		if r.Deadline > 0 && now > r.Deadline && !r.started {
 			e.stats.TimedOut++
+			e.tel.recordTimeout(now, now-r.Arrival)
 			continue
 		}
 		keep = append(keep, r)
@@ -277,9 +292,11 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 		r.TokensDone = 1
 		e.stats.recordTTFT(now-r.Arrival, e.cfg.SLO, r.PromptLen)
 		e.stats.PrefillTokens += float64(r.PromptLen)
+		e.tel.recordPrefillDone(r, now, now-r.Arrival <= e.cfg.SLO.TTFT)
 		if r.OutputLen <= 1 {
 			r.Done = true
 			e.stats.FinishedOutput++
+			e.tel.recordRetire(r, now)
 			continue
 		}
 		if len(e.decodeSet) < e.cfg.MaxBatch {
@@ -293,6 +310,7 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 			// the backlog grow without limit under overload.
 			r.Done = true
 			e.stats.BacklogDropped++
+			e.tel.recordBacklogDrop(now)
 		}
 	}
 }
@@ -303,15 +321,18 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 // batching admits at iteration boundaries) are untouched and simply
 // stay in the batch.
 func (e *Engine) onDecodeDone(j *job, now float64) {
+	e.tel.batchOcc.Observe(float64(len(j.reqs)))
 	for _, r := range j.reqs {
 		eTok := now - r.LastTokenAt
 		r.LastTokenAt = now
 		r.TokensDone++
 		r.LAG += e.cfg.SLO.TPOT - eTok
 		e.stats.recordToken(eTok, e.cfg.SLO.TPOT)
+		e.tel.recordToken(eTok, eTok <= e.cfg.SLO.TPOT)
 		if r.TokensDone >= r.OutputLen {
 			r.Done = true
 			e.stats.FinishedOutput++
+			e.tel.recordRetire(r, now)
 		}
 	}
 	keep := e.decodeSet[:0]

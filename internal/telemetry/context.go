@@ -1,0 +1,20 @@
+package telemetry
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the registry, so layers that
+// only see a context (runner scenarios, experiment cells) can record
+// into their scope without plumbing a parameter through every call.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the registry carried by the context, or nil when
+// none is attached. The nil result composes with the package's
+// nil-safe handles: instrumentation through it is simply off.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

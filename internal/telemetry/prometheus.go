@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a metric name into its family and its label body
+// (including braces): `x{a="b"}` -> (`x`, `{a="b"}`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabels joins a label body with extra label pairs:
+// (`{a="b"}`, `le="0.1"`) -> `{a="b",le="0.1"}`.
+func mergeLabels(labels, extra string) string {
+	if extra == "" {
+		return labels
+	}
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): samples grouped by metric family, one TYPE
+// line per family, histograms expanded into cumulative _bucket/_sum/
+// _count series.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	type sample struct{ name, value string }
+	families := make(map[string][]sample)
+	kinds := make(map[string]string)
+	order := []string{}
+	add := func(family, kind string, smp sample) {
+		if _, ok := families[family]; !ok {
+			order = append(order, family)
+			kinds[family] = kind
+		}
+		families[family] = append(families[family], smp)
+	}
+
+	for _, c := range s.Counters {
+		fam, _ := splitName(c.Name)
+		add(fam, "counter", sample{c.Name, strconv.FormatUint(c.Value, 10)})
+	}
+	for _, g := range s.Gauges {
+		fam, _ := splitName(g.Name)
+		add(fam, "gauge", sample{g.Name, formatFloat(g.Value)})
+	}
+	for _, h := range s.Histograms {
+		fam, labels := splitName(h.Name)
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			name := fam + "_bucket" + mergeLabels(labels, `le="`+formatFloat(b)+`"`)
+			add(fam, "histogram", sample{name, strconv.FormatUint(cum, 10)})
+		}
+		cum += h.Counts[len(h.Bounds)]
+		add(fam, "histogram", sample{fam + "_bucket" + mergeLabels(labels, `le="+Inf"`), strconv.FormatUint(cum, 10)})
+		add(fam, "histogram", sample{fam + "_sum" + labels, formatFloat(h.Sum)})
+		add(fam, "histogram", sample{fam + "_count" + labels, strconv.FormatUint(h.Count, 10)})
+	}
+
+	sort.Strings(order)
+	for _, fam := range order {
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kinds[fam]); err != nil {
+			return err
+		}
+		for _, smp := range families[fam] {
+			if _, err := fmt.Fprintf(bw, "%s %s\n", smp.name, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)$`)
+)
+
+// ValidatePrometheus checks that r is well-formed Prometheus text
+// exposition as produced by WritePrometheus: every line is a comment,
+// blank, or a sample whose family was declared by an earlier TYPE
+// line. It returns the first offending line.
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := make(map[string]string)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := promTypeRe.FindStringSubmatch(line)
+				if m == nil {
+					return fmt.Errorf("telemetry: line %d: malformed TYPE line: %q", lineNo, line)
+				}
+				typed[m[1]] = m[2]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("telemetry: line %d: malformed sample: %q", lineNo, line)
+		}
+		fam := m[1]
+		if _, ok := typed[fam]; !ok {
+			// Histogram series use the family name with a suffix.
+			base := fam
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(fam, suf) {
+					base = strings.TrimSuffix(fam, suf)
+					break
+				}
+			}
+			if kind, ok := typed[base]; !ok || kind != "histogram" {
+				return fmt.Errorf("telemetry: line %d: sample %q has no TYPE declaration", lineNo, fam)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("telemetry: exposition contains no samples")
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Field is one ordered key/value pair of an event. Values are
+// pre-formatted strings so events marshal deterministically.
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// F builds a string field.
+func F(key, value string) Field { return Field{Key: key, Value: value} }
+
+// Ff builds a float field formatted with %g-equivalent shortest
+// round-trip notation, so identical float64 inputs always produce
+// identical event payloads.
+func Ff(key string, v float64) Field {
+	return Field{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Fi builds an integer field.
+func Fi(key string, v int) Field { return Field{Key: key, Value: strconv.Itoa(v)} }
+
+// Fb builds a boolean field.
+func Fb(key string, v bool) Field { return Field{Key: key, Value: strconv.FormatBool(v)} }
+
+// Event is one discrete occurrence recorded in a Ring. Seq numbers are
+// per-ring, start at 0, and never repeat; Now is simulated time.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Now    float64 `json:"now"`
+	Cat    string  `json:"cat"`
+	Name   string  `json:"name"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Ring is a fixed-capacity ring buffer of events. When full, a new
+// event overwrites the oldest one; Dropped counts the overwritten
+// events. Emission is rare relative to metric updates, so a mutex (and
+// the wraparound bookkeeping it keeps trivial) is the right trade.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted; also the next Seq
+}
+
+// NewRing returns a ring holding at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends one event, overwriting the oldest when full.
+func (r *Ring) Emit(now float64, cat, name string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	ev := Event{Now: now, Cat: cat, Name: name, Fields: fields}
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[int(ev.Seq%uint64(cap(r.buf)))] = ev
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.next > uint64(cap(r.buf)) {
+		// Wrapped: the oldest surviving event sits at next % cap.
+		start := int(r.next % uint64(cap(r.buf)))
+		out = append(out, r.buf[start:]...)
+		out = append(out, r.buf[:start]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// Total returns how many events were ever emitted.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next <= uint64(cap(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(cap(r.buf))
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import "sort"
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge in a Snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram in a Snapshot. Counts are per-bucket
+// (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// ScopedEvent is one event in a Snapshot, tagged with the scope of the
+// registry whose ring held it.
+type ScopedEvent struct {
+	Scope string `json:"scope,omitempty"`
+	Event
+}
+
+// Snapshot is a deep, immutable copy of a registry tree: metrics are
+// sorted by name, events by (Now, Scope, Seq). Mutating the registry
+// after Snapshot returns never changes the snapshot.
+type Snapshot struct {
+	Counters      []CounterSnap   `json:"counters"`
+	Gauges        []GaugeSnap     `json:"gauges"`
+	Histograms    []HistogramSnap `json:"histograms"`
+	Events        []ScopedEvent   `json:"events"`
+	DroppedEvents uint64          `json:"dropped_events"`
+}
+
+// Snapshot captures the registry and all of its children.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.collect(&s)
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.Now != b.Now {
+			return a.Now < b.Now
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.Seq < b.Seq
+	})
+	return s
+}
+
+func (r *Registry) collect(s *Snapshot) {
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnap{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.buckets)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	children := make([]*Registry, 0, len(r.children))
+	names := make([]string, 0, len(r.children))
+	for name := range r.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		children = append(children, r.children[name])
+	}
+	ring := r.ring
+	scope := r.scope
+	r.mu.Unlock()
+
+	for _, ev := range ring.Events() {
+		// Events() copies; Fields slices are owned by emitters and
+		// never mutated after Emit, so sharing them is safe.
+		s.Events = append(s.Events, ScopedEvent{Scope: scope, Event: ev})
+	}
+	s.DroppedEvents += ring.Dropped()
+	for _, c := range children {
+		c.collect(s)
+	}
+}
+
+// CounterValue returns the named counter's value from the snapshot.
+func (s Snapshot) CounterValue(name string) (uint64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
+}
+
+// GaugeValue returns the named gauge's value from the snapshot.
+func (s Snapshot) GaugeValue(name string) (float64, bool) {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i].Value, true
+	}
+	return 0, false
+}
+
+// HistogramSnapFor returns the named histogram from the snapshot.
+func (s Snapshot) HistogramSnapFor(name string) (HistogramSnap, bool) {
+	i := sort.Search(len(s.Histograms), func(i int) bool { return s.Histograms[i].Name >= name })
+	if i < len(s.Histograms) && s.Histograms[i].Name == name {
+		return s.Histograms[i], true
+	}
+	return HistogramSnap{}, false
+}

@@ -1,0 +1,290 @@
+// Package telemetry is the observability layer of the AUM stack: a
+// lightweight, allocation-conscious registry of counters, gauges, and
+// fixed-bucket histograms, plus a structured event ring for discrete
+// occurrences (division switches, watchdog trips, CAT/MBA regrants,
+// chaos faults, admission sheds, license transitions).
+//
+// Design rules (DESIGN.md §7):
+//
+//   - Lock-free hot path. Counter/Gauge/Histogram updates are single
+//     atomic operations; registries hand out long-lived handles so the
+//     name lookup (mutex + map) happens once at instrumentation setup,
+//     never per observation.
+//   - Nil-safe everywhere. A nil *Registry yields nil handles, and
+//     every method on a nil handle is a no-op, so instrumentation is
+//     unconditional and costs one nil check when telemetry is off.
+//   - Snapshot-on-read. Snapshot deep-copies every value; mutating the
+//     registry after a snapshot never changes the snapshot.
+//   - Deterministic by construction. Recorded values carry only
+//     simulated time supplied by the caller — the package never reads
+//     the wall clock — so telemetry-enabled runs produce byte-identical
+//     simulation results and golden tables.
+//
+// Scoping: Child derives a named sub-registry whose metrics carry a
+// scope label, so parallel experiment scenarios record into disjoint
+// scopes that one parent snapshot aggregates (internal/runner attaches
+// one scope per scenario).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding the latest observed value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (zero before any Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus `le` (
+// less-or-equal) bucket semantics: an observation lands in the first
+// bucket whose upper bound is >= the value; values above the last
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; immutable after creation
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search: first bound >= v (le semantics). An observation
+	// exactly on a bucket edge belongs to that bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit
+// +Inf). The slice is shared and must not be mutated.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Registry holds named metrics and an event ring. The zero Registry is
+// not usable; construct with NewRegistry. All methods are safe for
+// concurrent use, and all are no-ops on a nil receiver.
+type Registry struct {
+	scope string // label injected into every metric name; "" at root
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	children map[string]*Registry
+	ring     *Ring
+}
+
+// DefaultEventCapacity is the event-ring size of registries built by
+// NewRegistry and Child.
+const DefaultEventCapacity = 4096
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		children: make(map[string]*Registry),
+		ring:     NewRing(DefaultEventCapacity),
+	}
+}
+
+// withScope injects the registry's scope as a `scope` label into a
+// metric name, merging with any labels the name already carries.
+func withScope(name, scope string) string {
+	if scope == "" {
+		return name
+	}
+	lbl := `scope="` + scope + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i+1] + lbl + "," + name[i+1:]
+	}
+	return name + "{" + lbl + "}"
+}
+
+// Counter returns (creating if absent) the named counter. Names may
+// carry Prometheus-style labels inline: `requests_total{kind="burst"}`.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := withScope(name, r.scope)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[full]
+	if !ok {
+		c = &Counter{}
+		r.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if absent) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := withScope(name, r.scope)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[full]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[full] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if absent) the named histogram with the
+// given bucket upper bounds. When the histogram already exists its
+// original bounds win and the argument is ignored.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := withScope(name, r.scope)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[full]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[full] = h
+	}
+	return h
+}
+
+// Child returns (creating if absent) the named sub-registry. Child
+// metrics carry a `scope` label (nested children join with '/') and
+// appear in the parent's Snapshot. Children have their own event ring.
+func (r *Registry) Child(scope string) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.children[scope]
+	if !ok {
+		full := scope
+		if r.scope != "" {
+			full = r.scope + "/" + scope
+		}
+		c = &Registry{
+			scope:    full,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+			children: make(map[string]*Registry),
+			ring:     NewRing(DefaultEventCapacity),
+		}
+		r.children[scope] = c
+	}
+	return c
+}
+
+// Scope returns the registry's scope ("" for a root registry).
+func (r *Registry) Scope() string {
+	if r == nil {
+		return ""
+	}
+	return r.scope
+}
+
+// Emit appends a structured event to the registry's ring. now is
+// simulated time; cat groups related events ("controller", "chaos",
+// "power", ...); fields are ordered key/value pairs.
+func (r *Registry) Emit(now float64, cat, name string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.ring.Emit(now, cat, name, fields...)
+}
+
+// Events returns the registry's own event ring (not children's).
+func (r *Registry) Events() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
