@@ -2,7 +2,7 @@
 // Potential of Shared Processors with Accelerator Units for LLM
 // Serving" (HPCA 2026) as a self-contained Go library.
 //
-// The library has three layers:
+// The library has four layers:
 //
 //   - A calibrated machine simulator standing in for the paper's
 //     AMX-enabled Xeons: roofline kernels with distinct AMX/AVX/scalar
@@ -18,15 +18,27 @@
 //     AUV model, and the Runtime AU Controller implementing
 //     Algorithm 1 (internal/core), next to the Table V baselines
 //     (internal/manager).
+//   - The fleet: many simulated machines stepped concurrently under
+//     tick-barrier semantics, with AUV-aware load balancing,
+//     autoscaling against a QPS trace, and disaggregated
+//     prefill/decode serving over a KV-transfer link — the Section
+//     VIII scale-out direction (internal/cluster, DESIGN.md §8).
 //
 // This package is the public facade: it re-exports the types needed to
 // assemble experiments and provides constructors for every resource
-// management scheme. The examples/ directory shows complete programs;
-// cmd/aumbench regenerates every table and figure of the paper.
+// management scheme. Single-machine runs go through Run; fleets are
+// assembled with NewCluster (functional options) or a FleetConfig
+// literal handed to RunFleet. The examples/ directory shows complete
+// programs; cmd/aumbench regenerates every table and figure of the
+// paper, and cmd/aumd serves live telemetry from a single machine
+// (-fleet for a whole cluster).
 package aum
 
 import (
+	"io"
+
 	"aum/internal/chaos"
+	"aum/internal/cluster"
 	"aum/internal/colo"
 	"aum/internal/core"
 	"aum/internal/experiments"
@@ -73,8 +85,12 @@ type (
 	ChaosSchedule = chaos.Schedule
 	// ChaosEvent is one scheduled fault in a ChaosSchedule.
 	ChaosEvent = chaos.Event
-	// AdmissionPolicy bounds the serving engine's queue and backlog
-	// (set RunConfig.Admission).
+	// Admission bounds the serving engine's queue and backlog (set
+	// RunConfig.Admission).
+	Admission = serve.Admission
+	// AdmissionPolicy is the pre-fleet name of Admission.
+	//
+	// Deprecated: use Admission, matching the DESIGN.md term.
 	AdmissionPolicy = serve.Admission
 	// ViolationWindow is one contiguous span of measured SLO violation
 	// in a RunResult.
@@ -84,9 +100,65 @@ type (
 	TelemetryRegistry = telemetry.Registry
 	// TelemetrySnapshot is a deep, immutable copy of a registry tree.
 	TelemetrySnapshot = telemetry.Snapshot
+	// ScopedEvent is one structured event from a TelemetrySnapshot,
+	// tagged with the scope path that recorded it.
+	ScopedEvent = telemetry.ScopedEvent
 	// ChromeTrace buffers Chrome trace_event records for chrome://tracing
 	// (set RunConfig.TraceSink).
 	ChromeTrace = telemetry.Trace
+	// Env is the live single-machine environment a Manager controls;
+	// custom managers receive it in Setup and Tick.
+	Env = colo.Env
+	// AUVDivision is one resource division of an AUVModel.
+	AUVDivision = core.Division
+	// Lab shares a profiled-model cache and a worker pool across
+	// experiment runs.
+	Lab = experiments.Lab
+	// ExperimentConfig is the one-call form of experiment invocation
+	// (see RunExperimentConfig).
+	ExperimentConfig = experiments.Config
+)
+
+// The fleet layer (DESIGN.md §8): a cluster of simulated machines with
+// AUV-aware balancing, autoscaling, and disaggregated serving.
+type (
+	// Cluster is a validated fleet, assembled with NewCluster.
+	Cluster = cluster.Cluster
+	// FleetConfig parameterizes one fleet simulation (literal-struct
+	// form of NewCluster's options).
+	FleetConfig = cluster.Config
+	// FleetResult summarizes one fleet simulation.
+	FleetResult = cluster.Result
+	// FleetNodeResult is one machine's share of a FleetResult.
+	FleetNodeResult = cluster.NodeResult
+	// MachineSpec describes one machine in a fleet.
+	MachineSpec = cluster.MachineSpec
+	// BalancePolicy selects the machine for each arriving request.
+	BalancePolicy = cluster.BalancePolicy
+	// Role is a machine's position in a disaggregated fleet.
+	Role = cluster.Role
+	// RatePoint is one step of a fleet QPS trace.
+	RatePoint = cluster.RatePoint
+	// AutoscaleConfig parameterizes the AUV-aware autoscaler.
+	AutoscaleConfig = cluster.AutoscaleConfig
+	// ScaleEvent is one autoscaler state transition in a FleetResult.
+	ScaleEvent = cluster.ScaleEvent
+	// LinkConfig models the KV-transfer interconnect between
+	// disaggregated prefill and decode machines.
+	LinkConfig = cluster.LinkConfig
+	// ClusterOption configures NewCluster.
+	ClusterOption = cluster.Option
+)
+
+// Balance policies and machine roles, re-exported for FleetConfig.
+const (
+	RoundRobin  = cluster.RoundRobin
+	LeastQueued = cluster.LeastQueued
+	AUVAware    = cluster.AUVAware
+
+	RoleMixed   = cluster.RoleMixed
+	RolePrefill = cluster.RolePrefill
+	RoleDecode  = cluster.RoleDecode
 )
 
 // Platforms returns the three evaluated platforms (Table I).
@@ -164,6 +236,50 @@ func NewBoundOnly(m *AUVModel, opt ControllerOptions) (Manager, error) { return 
 // an optional co-runner under the given manager on a simulated machine.
 func Run(cfg RunConfig) (RunResult, error) { return colo.Run(cfg) }
 
+// NewCluster assembles and validates a fleet from functional options.
+func NewCluster(opts ...ClusterOption) (*Cluster, error) { return cluster.New(opts...) }
+
+// RunFleet executes a fleet simulation from a literal FleetConfig —
+// the struct form of NewCluster(...).Run().
+func RunFleet(cfg FleetConfig) (FleetResult, error) { return cluster.Run(cfg) }
+
+// ParseBalancePolicy maps a policy name ("round-robin", "least-queued",
+// "auv-aware") to its BalancePolicy — the form command-line flags carry.
+func ParseBalancePolicy(s string) (BalancePolicy, error) { return cluster.ParseBalancePolicy(s) }
+
+// Fleet options for NewCluster. Each wraps the corresponding
+// FleetConfig field; zero values keep the documented defaults.
+var (
+	// WithMachines appends machines to the fleet.
+	WithMachines = cluster.WithMachines
+	// WithModel sets the served model.
+	WithModel = cluster.WithModel
+	// WithScenario sets the default scenario class.
+	WithScenario = cluster.WithScenario
+	// WithCoRunner co-runs the profile on every machine.
+	WithCoRunner = cluster.WithCoRunner
+	// WithPolicy selects the balancing policy.
+	WithPolicy = cluster.WithPolicy
+	// WithHorizon sets the simulated duration and warmup.
+	WithHorizon = cluster.WithHorizon
+	// WithRate sets the aggregate offered request rate.
+	WithRate = cluster.WithRate
+	// WithQPS sets the offered-rate trace.
+	WithQPS = cluster.WithQPS
+	// WithAutoscale enables the AUV-aware autoscaler.
+	WithAutoscale = cluster.WithAutoscale
+	// WithLink sets the KV-transfer link model.
+	WithLink = cluster.WithLink
+	// WithSeed sets the root random seed.
+	WithSeed = cluster.WithSeed
+	// WithWorkers caps concurrent machine stepping.
+	WithWorkers = cluster.WithWorkers
+	// WithTelemetry attaches a registry to the fleet.
+	WithTelemetry = cluster.WithTelemetry
+	// WithProgress registers a per-barrier callback.
+	WithProgress = cluster.WithProgress
+)
+
 // NewTelemetryRegistry returns an empty metric/event registry to wire
 // into RunConfig.Telemetry. Telemetry observes a run without changing
 // its results (DESIGN.md §7).
@@ -209,3 +325,23 @@ func RunExperiment(id string, opt ExperimentOptions) (*ResultTable, error) {
 	}
 	return e.Run(experiments.NewLab(), opt)
 }
+
+// RunExperimentConfig regenerates one artifact from a validated
+// ExperimentConfig — the struct form of RunExperiment, with worker and
+// telemetry control.
+func RunExperimentConfig(cfg ExperimentConfig) (*ResultTable, error) { return experiments.Run(cfg) }
+
+// ExperimentByID returns a registered experiment without running it.
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// NewLab returns an experiment Lab with a fresh profile cache; use it
+// with Experiment.Run to share profiled AUV models across artifacts.
+func NewLab() *Lab { return experiments.NewLab() }
+
+// WritePrometheus renders a telemetry snapshot in Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s TelemetrySnapshot) error { return telemetry.WritePrometheus(w, s) }
+
+// ValidatePrometheus checks a Prometheus text exposition stream for
+// well-formedness (the promcheck command's core).
+func ValidatePrometheus(r io.Reader) error { return telemetry.ValidatePrometheus(r) }

@@ -89,3 +89,72 @@ func TestRunExperimentQuick(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+// TestFleetFacade drives the fourth (fleet) layer entirely through the
+// public API: options construction, a run with autoscaling, and the
+// literal-config path.
+func TestFleetFacade(t *testing.T) {
+	scen, _ := ScenarioByName("cb")
+	c, err := NewCluster(
+		WithMachines(
+			MachineSpec{Plat: GenA(), Mgr: NewExclusive()},
+			MachineSpec{Plat: GenA(), Mgr: NewExclusive(), Standby: true},
+		),
+		WithModel(Llama2_7B()),
+		WithScenario(scen),
+		WithPolicy(AUVAware),
+		WithHorizon(6, 1),
+		WithRate(0.5),
+		WithQPS(RatePoint{At: 2, RatePerS: 4}),
+		WithAutoscale(AutoscaleConfig{HoldBarriers: 2, WarmupDelayS: 0.5}),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "auv-aware" || res.Nodes != 2 || res.GoodTokensPS <= 0 {
+		t.Fatalf("fleet run implausible: %+v", res)
+	}
+	if len(res.ScaleEvents) == 0 {
+		t.Fatal("surge produced no scale events")
+	}
+
+	lit, err := RunFleet(FleetConfig{
+		Machines: []MachineSpec{
+			{Plat: GenA(), Mgr: NewExclusive(), Role: RolePrefill},
+			{Plat: GenA(), Mgr: NewExclusive(), Role: RoleDecode},
+		},
+		Model: Llama2_7B(), Scen: scen, HorizonS: 6, Seed: 3, RatePerS: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit.Handoffs == 0 {
+		t.Fatal("disaggregated fleet moved no KV caches")
+	}
+
+	if _, err := RunFleet(FleetConfig{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if p, err := ParseBalancePolicy("least-queued"); err != nil || p != LeastQueued {
+		t.Fatalf("ParseBalancePolicy: %v, %v", p, err)
+	}
+}
+
+// TestRunExperimentConfig exercises the validated struct form.
+func TestRunExperimentConfig(t *testing.T) {
+	tbl, err := RunExperimentConfig(ExperimentConfig{ID: "table1", Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatal("table1 rows")
+	}
+	if _, err := RunExperimentConfig(ExperimentConfig{}); err == nil {
+		t.Fatal("missing ID accepted")
+	}
+}

@@ -30,8 +30,7 @@ import (
 	"runtime"
 	"time"
 
-	"aum/internal/experiments"
-	"aum/internal/telemetry"
+	"aum"
 )
 
 // benchReport is the BENCH_results.json schema.
@@ -76,7 +75,7 @@ func main() {
 			return // -trace alone is a complete invocation
 		}
 		fmt.Println("available experiments:")
-		for _, e := range experiments.Registry() {
+		for _, e := range aum.Experiments() {
 			fmt.Printf("  %-9s %-14s %s\n", e.ID, "("+e.Paper+")", e.Title)
 		}
 		if *run == "" && !*list {
@@ -85,28 +84,28 @@ func main() {
 		return
 	}
 
-	lab := experiments.NewLab()
+	lab := aum.NewLab()
 	if *workers > 0 {
 		lab.SetWorkers(*workers)
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	opt := aum.ExperimentOptions{Quick: *quick, Seed: *seed}
 
-	var todo []experiments.Experiment
+	var todo []aum.Experiment
 	if *run == "all" {
-		todo = experiments.Registry()
+		todo = aum.Experiments()
 	} else {
-		e, err := experiments.ByID(*run)
+		e, err := aum.ExperimentByID(*run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		todo = []experiments.Experiment{e}
+		todo = []aum.Experiment{e}
 	}
 	// Per-experiment wall clocks land in gauges first; the JSON report
 	// below is rendered from the snapshot so there is one source of
 	// truth. (Wall time is allowed here — it annotates the run, it
 	// never enters a result table.)
-	benchTel := telemetry.NewRegistry()
+	benchTel := aum.NewTelemetryRegistry()
 	suiteStart := time.Now()
 	for _, e := range todo {
 		start := time.Now()

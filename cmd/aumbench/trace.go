@@ -4,14 +4,7 @@ import (
 	"fmt"
 	"os"
 
-	"aum/internal/colo"
-	"aum/internal/core"
-	"aum/internal/experiments"
-	"aum/internal/llm"
-	"aum/internal/platform"
-	"aum/internal/telemetry"
-	"aum/internal/trace"
-	"aum/internal/workload"
+	"aum"
 )
 
 // writeTrace runs one fully instrumented co-location — GenA serving
@@ -25,27 +18,30 @@ import (
 // All timestamps are simulated time, so the file is identical across
 // machines and runs (DESIGN.md §7).
 func writeTrace(path string, seed uint64, horizonS float64) error {
-	plat := platform.GenA()
-	model := llm.Llama2_7B()
-	scen, err := trace.ByName("cb")
+	plat := aum.GenA()
+	model := aum.Llama2_7B()
+	scen, err := aum.ScenarioByName("cb")
 	if err != nil {
 		return err
 	}
-	be := workload.SPECjbb()
+	be, err := aum.CoRunnerByName("SPECjbb")
+	if err != nil {
+		return err
+	}
 
-	lab := experiments.NewLab()
-	auv, err := lab.Model(plat, model, scen, be, experiments.Options{Quick: true, Seed: seed})
+	lab := aum.NewLab()
+	auv, err := lab.Model(plat, model, scen, be, aum.ExperimentOptions{Quick: true, Seed: seed})
 	if err != nil {
 		return fmt.Errorf("profiling AUV model: %w", err)
 	}
 
-	reg := telemetry.NewRegistry()
-	tr := telemetry.NewTrace()
-	mgr, err := core.NewAUM(auv, core.Options{Watchdog: true, Telemetry: reg, Trace: tr})
+	reg := aum.NewTelemetryRegistry()
+	tr := aum.NewChromeTrace()
+	mgr, err := aum.NewAUM(auv, aum.ControllerOptions{Watchdog: true, Telemetry: reg, Trace: tr})
 	if err != nil {
 		return err
 	}
-	if _, err := colo.Run(colo.Config{
+	if _, err := aum.Run(aum.RunConfig{
 		Plat: plat, Model: model, Scen: scen, BE: &be,
 		Manager: mgr, HorizonS: horizonS, Seed: seed,
 		Telemetry: reg, TraceSink: tr,

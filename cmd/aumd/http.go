@@ -6,7 +6,7 @@ import (
 	"net"
 	"net/http"
 
-	"aum/internal/telemetry"
+	"aum"
 )
 
 // serveTelemetry exposes the registry over HTTP for the lifetime of
@@ -18,11 +18,11 @@ import (
 //
 // Every request snapshots the registry, so responses are internally
 // consistent even while the simulation is mutating metrics.
-func serveTelemetry(ln net.Listener, reg *telemetry.Registry) {
+func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := telemetry.WritePrometheus(w, reg.Snapshot()); err != nil {
+		if err := aum.WritePrometheus(w, reg.Snapshot()); err != nil {
 			log.Printf("aumd: /metrics: %v", err)
 		}
 	})
@@ -30,11 +30,11 @@ func serveTelemetry(ln net.Listener, reg *telemetry.Registry) {
 		s := reg.Snapshot()
 		w.Header().Set("Content-Type", "application/json")
 		resp := struct {
-			Events  []telemetry.ScopedEvent `json:"events"`
-			Dropped uint64                  `json:"dropped"`
+			Events  []aum.ScopedEvent `json:"events"`
+			Dropped uint64            `json:"dropped"`
 		}{Events: s.Events, Dropped: s.DroppedEvents}
 		if resp.Events == nil {
-			resp.Events = []telemetry.ScopedEvent{}
+			resp.Events = []aum.ScopedEvent{}
 		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			log.Printf("aumd: /events: %v", err)

@@ -11,6 +11,13 @@
 // tuner, and the watchdog state. With -http the same registry is
 // served live over /metrics (Prometheus text), /events (JSON), and
 // /healthz for the duration of the run.
+//
+// With -fleet the daemon instead simulates a heterogeneous cluster
+// under the selected -policy, riding a QPS surge with the AUV-aware
+// autoscaler (DESIGN.md §8); the status line and /metrics then carry
+// the aum_fleet_* series:
+//
+//	aumd -fleet -policy auv-aware -duration 30 -http 127.0.0.1:9090
 package main
 
 import (
@@ -20,9 +27,6 @@ import (
 	"net"
 
 	"aum"
-	"aum/internal/colo"
-	"aum/internal/core"
-	"aum/internal/telemetry"
 )
 
 // snapshotReporter wraps the AUM controller to render per-interval
@@ -30,9 +34,9 @@ import (
 // printf wrapper, every number comes from the telemetry registry, so
 // the console, /metrics, and the trace all agree by construction.
 type snapshotReporter struct {
-	inner  *core.AUM
-	model  *core.Model
-	reg    *telemetry.Registry
+	inner  aum.Manager
+	model  *aum.AUVModel
+	reg    *aum.TelemetryRegistry
 	everyS float64
 	nextAt float64
 }
@@ -40,9 +44,9 @@ type snapshotReporter struct {
 func (r *snapshotReporter) Name() string      { return r.inner.Name() }
 func (r *snapshotReporter) Interval() float64 { return r.inner.Interval() }
 
-func (r *snapshotReporter) Setup(e *colo.Env) error { return r.inner.Setup(e) }
+func (r *snapshotReporter) Setup(e *aum.Env) error { return r.inner.Setup(e) }
 
-func (r *snapshotReporter) Tick(e *colo.Env, now float64) error {
+func (r *snapshotReporter) Tick(e *aum.Env, now float64) error {
 	if err := r.inner.Tick(e, now); err != nil {
 		return err
 	}
@@ -56,7 +60,7 @@ func (r *snapshotReporter) Tick(e *colo.Env, now float64) error {
 // renderStatus formats one console status line purely from a registry
 // snapshot. It is a function of the snapshot (plus the AUV model for
 // division names) so tests can drive it without a live run.
-func renderStatus(s telemetry.Snapshot, model *core.Model, now float64) string {
+func renderStatus(s aum.TelemetrySnapshot, model *aum.AUVModel, now float64) string {
 	divName := "?"
 	if d, ok := s.GaugeValue("aum_ctrl_division"); ok {
 		if i := int(d); i >= 0 && i < len(model.Divisions) {
@@ -78,7 +82,7 @@ func renderStatus(s telemetry.Snapshot, model *core.Model, now float64) string {
 // sloRatio returns met/total from two counters, 1.0 when nothing has
 // been measured yet (matching serve.Stats semantics: no sample, no
 // violation).
-func sloRatio(s telemetry.Snapshot, met, total string) float64 {
+func sloRatio(s aum.TelemetrySnapshot, met, total string) float64 {
 	m, _ := s.CounterValue(met)
 	t, _ := s.CounterValue(total)
 	if t == 0 {
@@ -90,7 +94,7 @@ func sloRatio(s telemetry.Snapshot, met, total string) float64 {
 // watchdogStatus renders the SLO watchdog from its gauges: "off" when
 // the watchdog never reported (not enabled), "ok" when armed but not
 // engaged, and SAFE(hold=N,trips=M) while parked in the safe division.
-func watchdogStatus(s telemetry.Snapshot) string {
+func watchdogStatus(s aum.TelemetrySnapshot) string {
 	active, ok := s.GaugeValue("aum_ctrl_watchdog_active")
 	if !ok {
 		return "off"
@@ -113,8 +117,15 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "root random seed")
 		httpAddr = flag.String("http", "", "serve /metrics, /events, /healthz on this address (e.g. 127.0.0.1:9090)")
 		watchdog = flag.Bool("watchdog", false, "enable the SLO watchdog safe mode")
+		fleet    = flag.Bool("fleet", false, "run a heterogeneous fleet instead of one machine (no AUV model needed)")
+		policy   = flag.String("policy", "auv-aware", "fleet balance policy: round-robin | least-queued | auv-aware")
 	)
 	flag.Parse()
+
+	if *fleet {
+		runFleetDaemon(*policy, *duration, *report, *seed, *httpAddr)
+		return
+	}
 
 	auv, err := aum.LoadAUVModel(*auvPath)
 	if err != nil {
@@ -140,7 +151,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	reg := telemetry.NewRegistry()
+	reg := aum.NewTelemetryRegistry()
 
 	// Bind before the run so a bad -http address fails fast instead of
 	// after simulating the whole horizon.
@@ -153,7 +164,7 @@ func main() {
 		go serveTelemetry(ln, reg)
 	}
 
-	inner, err := core.NewAUM(auv, core.Options{Watchdog: *watchdog, Telemetry: reg})
+	inner, err := aum.NewAUM(auv, aum.ControllerOptions{Watchdog: *watchdog, Telemetry: reg})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,12 +4,11 @@ import (
 	"strings"
 	"testing"
 
-	"aum/internal/core"
-	"aum/internal/telemetry"
+	"aum"
 )
 
-func testModel() *core.Model {
-	return &core.Model{Divisions: []core.Division{
+func testModel() *aum.AUVModel {
+	return &aum.AUVModel{Divisions: []aum.AUVDivision{
 		{Name: "au-lean"}, {Name: "balanced"}, {Name: "au-rich"},
 	}}
 }
@@ -17,7 +16,7 @@ func testModel() *core.Model {
 // TestRenderStatus drives the status renderer with a synthetic
 // registry: every field of the line must come from the snapshot.
 func TestRenderStatus(t *testing.T) {
-	reg := telemetry.NewRegistry()
+	reg := aum.NewTelemetryRegistry()
 	reg.Gauge("aum_ctrl_division").Set(1)
 	reg.Gauge("aum_ctrl_be_ways").Set(4)
 	reg.Gauge("aum_ctrl_be_mba_percent").Set(50)
@@ -51,7 +50,7 @@ func TestRenderStatus(t *testing.T) {
 // SLO goodness (no sample, no violation) and never panics on missing
 // metrics.
 func TestRenderStatusEmpty(t *testing.T) {
-	line := renderStatus(telemetry.NewRegistry().Snapshot(), testModel(), 0)
+	line := renderStatus(aum.NewTelemetryRegistry().Snapshot(), testModel(), 0)
 	for _, want := range []string{"ttftG=100.0%", "tpotG=100.0%", "div=?", "wd=off"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("empty-snapshot line missing %q:\n%s", want, line)
@@ -61,7 +60,7 @@ func TestRenderStatusEmpty(t *testing.T) {
 
 // TestWatchdogStatus covers the three watchdog renderings.
 func TestWatchdogStatus(t *testing.T) {
-	reg := telemetry.NewRegistry()
+	reg := aum.NewTelemetryRegistry()
 	if got := watchdogStatus(reg.Snapshot()); got != "off" {
 		t.Errorf("no gauge: wd=%s, want off", got)
 	}
@@ -75,5 +74,27 @@ func TestWatchdogStatus(t *testing.T) {
 	reg.Counter("aum_ctrl_watchdog_trips_total").Inc()
 	if got := watchdogStatus(reg.Snapshot()); got != "SAFE(hold=40,trips=2)" {
 		t.Errorf("active: wd=%s, want SAFE(hold=40,trips=2)", got)
+	}
+}
+
+// TestRenderFleetStatus drives the -fleet status renderer from a
+// synthetic registry: every field must come from the aum_fleet_* series.
+func TestRenderFleetStatus(t *testing.T) {
+	reg := aum.NewTelemetryRegistry()
+	reg.Gauge("aum_fleet_active_machines").Set(2)
+	reg.Gauge("aum_fleet_powered_machines").Set(3)
+	reg.Gauge("aum_fleet_offered_rate_per_s").Set(4.5)
+	reg.Gauge("aum_fleet_queue_len").Set(12)
+	reg.Gauge("aum_fleet_utilization").Set(0.87)
+	for i := 0; i < 42; i++ {
+		reg.Counter("aum_fleet_requests_routed_total").Inc()
+	}
+	line := renderFleetStatus(reg.Snapshot(), 7.5)
+	for _, want := range []string{
+		"t=  7.5s", "active=2/3", "rate=4.5/s", "util= 87%", "queue= 12", "routed=42",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("fleet status line missing %q:\n%s", want, line)
+		}
 	}
 }

@@ -14,7 +14,7 @@ import (
 	"io"
 	"os"
 
-	"aum/internal/telemetry"
+	"aum"
 )
 
 func main() {
@@ -29,7 +29,7 @@ func main() {
 		defer f.Close()
 		in, name = f, os.Args[1]
 	}
-	if err := telemetry.ValidatePrometheus(in); err != nil {
+	if err := aum.ValidatePrometheus(in); err != nil {
 		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,46 @@
+package aum
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesAndCommandsBuild compiles every program under examples/
+// and cmd/ — the facade must stay sufficient to build them all.
+func TestExamplesAndCommandsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go build fan-out skipped in -short")
+	}
+	cmd := exec.Command("go", "build", "./examples/...", "./cmd/...")
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+}
+
+// TestNoInternalImportsOutsideFacade pins the API boundary: programs
+// under examples/ and cmd/ consume the stack exclusively through the
+// aum facade, never through aum/internal/... directly.
+func TestNoInternalImportsOutsideFacade(t *testing.T) {
+	for _, root := range []string{"examples", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if strings.Contains(string(src), `"aum/internal/`) {
+				t.Errorf("%s imports aum/internal/...; use the facade (aum.go) instead", path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,314 +1,841 @@
-// Package cluster scales AUM from one machine to a fleet, the
+// Package cluster scales AUM from one machine to a fleet — the
 // extension Section VIII sketches: "for sharding workloads across
 // multiple servers, we can analyze the AUV of every processor and adopt
 // load balancing to maximize their efficiency separately."
 //
-// A Cluster owns several simulated machines, each running its own
+// A fleet is a heterogeneous set of simulated machines (mixed
+// platforms, scenarios, and prefill/decode roles), each running its own
 // serving engine, co-runner, and per-machine resource manager. The
-// Balancer routes arriving requests across machines; the AUV-aware
-// policy uses each machine's profiled capacity and live queue state,
-// while the oblivious policies (round-robin, least-loaded-by-count)
-// provide the comparison baselines.
+// simulation advances in *tick barriers*: machines step independently
+// — and concurrently, over the internal/runner worker pool — for one
+// barrier interval, and everything that couples them happens
+// single-threaded at the barrier in machine-index order: request
+// routing (BalancePolicy), KV-cache handoff between disaggregated
+// prefill and decode tiers (LinkConfig), and AUV-aware autoscaling
+// against a QPS trace (AutoscaleConfig). Results are therefore
+// independent of the worker width, extending the determinism contract
+// of DESIGN.md §6 to the fleet layer (§8).
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"aum/internal/colo"
 	"aum/internal/llm"
 	"aum/internal/machine"
 	"aum/internal/metrics"
 	"aum/internal/perfmon"
-	"aum/internal/rdt"
-	"aum/internal/serve"
-	"aum/internal/trace"
-	"aum/internal/workload"
-
 	"aum/internal/platform"
+	"aum/internal/rdt"
+	"aum/internal/rng"
+	"aum/internal/runner"
+	"aum/internal/serve"
+	"aum/internal/telemetry"
+	"aum/internal/trace"
+	"aum/internal/vcfg"
+	"aum/internal/workload"
 )
 
-// Policy selects the machine for each arriving request.
-type Policy int
+// Role is a machine's position in a disaggregated serving fleet.
+type Role int
 
 const (
-	// RoundRobin cycles through machines regardless of state.
-	RoundRobin Policy = iota
-	// LeastQueued picks the machine with the shortest prefill queue —
-	// load-aware but AUV-oblivious (it cannot see that machines differ
-	// in AU capacity or frequency headroom).
-	LeastQueued
-	// AUVAware weighs each machine's profiled serving capacity and
-	// its live backlog: requests go where the *AU-adjusted* slack is
-	// largest (the Section VIII proposal).
-	AUVAware
+	// RoleMixed serves both phases locally (the default).
+	RoleMixed Role = iota
+	// RolePrefill runs prompt processing only and hands each prefilled
+	// request — with its KV cache — to a decode machine over the link.
+	RolePrefill
+	// RoleDecode accepts handed-off requests for token generation; the
+	// balancer never routes fresh arrivals to it.
+	RoleDecode
 )
 
-// String returns the policy name.
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case LeastQueued:
-		return "least-queued"
-	case AUVAware:
-		return "auv-aware"
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleMixed:
+		return "mixed"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
 	}
 	return "unknown"
 }
 
-// Node is one machine in the fleet.
-type Node struct {
-	Name   string
-	Env    *colo.Env
-	Mgr    colo.Manager
-	gen    trace.Scenario
-	nextTk float64
-
-	// CapacityTokPS is the node's profiled *request* capacity under
-	// the scenario (requests/s), the AUV statistic the aware balancer
-	// consumes: the minimum of its prefill-compute and decode-bandwidth
-	// service rates.
-	CapacityTokPS float64
+// MachineSpec describes one machine in the fleet.
+type MachineSpec struct {
+	Plat platform.Platform
+	Mgr  colo.Manager
+	Role Role
+	// Scen, when set, overrides Config.Scen for this machine.
+	// Machines serving the same scenario form a routing class;
+	// arrivals of a class only ever route within it.
+	Scen *trace.Scenario
+	// Standby machines start powered off in the autoscaler's pool.
+	Standby bool
 }
 
-// Config assembles a cluster experiment.
-type Config struct {
-	Plats    []platform.Platform // one machine per entry
-	Model    llm.Model
-	Scen     trace.Scenario
-	BE       *workload.Profile // optional co-runner on every node
-	Policy   Policy
-	Managers []colo.Manager // per node; must match len(Plats)
+// RatePoint is one step of a QPS trace: from time At on, the fleet's
+// aggregate offered rate is RatePerS.
+type RatePoint struct {
+	At       float64
+	RatePerS float64
+}
 
-	HorizonS float64
-	WarmupS  float64
-	DT       float64
+// Config assembles a fleet simulation. The zero value of every field
+// selects a documented default; withDefaults rejects out-of-range
+// values with errors that name the field and the legal range.
+type Config struct {
+	Machines []MachineSpec
+	// Model is served on every machine (default Llama2-7B).
+	Model llm.Model
+	// Scen is the default scenario class (default chatbot); per-machine
+	// MachineSpec.Scen overrides it.
+	Scen trace.Scenario
+	// BE, when set, co-runs on every machine.
+	BE     *workload.Profile
+	Policy BalancePolicy
+
+	HorizonS float64 // simulated duration (default 40)
+	WarmupS  float64 // excluded from measurement (default HorizonS/6)
+	DT       float64 // machine time step (default 1 ms)
+	// BarrierS is the tick-barrier interval: machines step
+	// independently for this long between the single-threaded
+	// routing/handoff/autoscale points (default 50 ms; rounded to a
+	// whole number of DT steps).
+	BarrierS float64
 	Seed     uint64
-	RatePerS float64 // aggregate arrival rate (0 = scenario default x nodes)
+	// RatePerS is the fleet's aggregate offered rate (0 = the sum of
+	// each machine's scenario default). Multi-class fleets split it
+	// across classes in proportion to the class default rates.
+	RatePerS float64
+	// QPS, when set, drives the offered rate over time: each point
+	// takes effect at the first barrier at or after its At. RatePerS
+	// is the rate before the first point.
+	QPS []RatePoint
+	// Autoscale, when set, lets the fleet add and drain machines
+	// against the offered rate. Requires an all-RoleMixed single-class
+	// fleet; Standby machines form the pool.
+	Autoscale *AutoscaleConfig
+	// Link prices KV-cache transfers between prefill and decode tiers.
+	Link LinkConfig
+	// Workers caps how many machines step concurrently within an epoch
+	// (0 = GOMAXPROCS). The width never changes results (DESIGN.md §8).
+	Workers int
+	// Telemetry, when set, scopes each machine into Child("m<ii>") and
+	// publishes fleet-level gauges at every barrier.
+	Telemetry *telemetry.Registry
+	// Progress, when set, is called after every barrier with the fleet
+	// time — the hook cmd/aumd's -fleet status line uses.
+	Progress func(now float64)
+}
+
+// Option mutates a Config under construction; see New.
+type Option func(*Config)
+
+// WithMachines sets the fleet's machine list.
+func WithMachines(specs ...MachineSpec) Option {
+	return func(c *Config) { c.Machines = append(c.Machines, specs...) }
+}
+
+// WithModel sets the served model.
+func WithModel(m llm.Model) Option { return func(c *Config) { c.Model = m } }
+
+// WithScenario sets the default scenario class.
+func WithScenario(s trace.Scenario) Option { return func(c *Config) { c.Scen = s } }
+
+// WithCoRunner co-runs the profile on every machine.
+func WithCoRunner(p workload.Profile) Option { return func(c *Config) { c.BE = &p } }
+
+// WithPolicy selects the balancing policy.
+func WithPolicy(p BalancePolicy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithHorizon sets the simulated duration and warmup (0 = defaults).
+func WithHorizon(horizonS, warmupS float64) Option {
+	return func(c *Config) { c.HorizonS, c.WarmupS = horizonS, warmupS }
+}
+
+// WithRate sets the aggregate offered rate.
+func WithRate(perS float64) Option { return func(c *Config) { c.RatePerS = perS } }
+
+// WithQPS sets the offered-rate trace.
+func WithQPS(points ...RatePoint) Option {
+	return func(c *Config) { c.QPS = append(c.QPS, points...) }
+}
+
+// WithAutoscale enables the AUV-aware autoscaler.
+func WithAutoscale(a AutoscaleConfig) Option { return func(c *Config) { c.Autoscale = &a } }
+
+// WithLink sets the KV-transfer link model.
+func WithLink(l LinkConfig) Option { return func(c *Config) { c.Link = l } }
+
+// WithSeed sets the root random seed.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithWorkers caps concurrent machine stepping.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithTelemetry attaches a registry.
+func WithTelemetry(reg *telemetry.Registry) Option { return func(c *Config) { c.Telemetry = reg } }
+
+// WithProgress registers a per-barrier callback.
+func WithProgress(fn func(now float64)) Option { return func(c *Config) { c.Progress = fn } }
+
+// New validates a fleet assembled from options and returns it ready to
+// Run. Package-level Run accepts the Config struct directly; both
+// paths share the same validation.
+func New(opts ...Option) (*Cluster, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	v, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: v}, nil
+}
+
+// Cluster is a validated fleet.
+type Cluster struct {
+	cfg Config
+}
+
+// Config returns the validated configuration (defaults filled in).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Run executes the fleet simulation.
+func (c *Cluster) Run() (Result, error) { return run(c.cfg) }
+
+// Run executes a fleet simulation from a literal Config.
+func Run(cfg Config) (Result, error) {
+	v, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	return run(v)
+}
+
+// scenarioClasses returns the distinct scenarios the fleet serves (in
+// first-appearance order) and each machine's class index.
+func scenarioClasses(cfg Config) (classes []trace.Scenario, classOf []int) {
+	classOf = make([]int, len(cfg.Machines))
+	for i, spec := range cfg.Machines {
+		s := cfg.Scen
+		if spec.Scen != nil {
+			s = *spec.Scen
+		}
+		idx := -1
+		for k := range classes {
+			if classes[k].Name == s.Name {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(classes)
+			classes = append(classes, s)
+		}
+		classOf[i] = idx
+	}
+	return classes, classOf
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if len(c.Plats) == 0 {
-		return c, fmt.Errorf("cluster: no machines configured")
+	const pkg = "cluster"
+	if len(c.Machines) == 0 {
+		return c, vcfg.Bad(pkg, "Config.Machines", len(c.Machines), "a non-empty machine list (WithMachines)")
 	}
-	if len(c.Managers) != len(c.Plats) {
-		return c, fmt.Errorf("cluster: %d managers for %d machines", len(c.Managers), len(c.Plats))
+	if c.Model.Name == "" {
+		c.Model = llm.Llama2_7B()
 	}
-	if c.HorizonS <= 0 {
+	if c.Scen.Name == "" {
+		c.Scen = trace.Chatbot()
+	}
+	if c.Policy < RoundRobin || c.Policy > AUVAware {
+		return c, vcfg.Bad(pkg, "Config.Policy", int(c.Policy), "round-robin (0), least-queued (1), or auv-aware (2)")
+	}
+	if c.HorizonS < 0 {
+		return c, vcfg.Bad(pkg, "Config.HorizonS", c.HorizonS, "> 0 (0 selects the 40 s default)")
+	}
+	if c.HorizonS == 0 {
 		c.HorizonS = 40
 	}
-	if c.WarmupS <= 0 {
+	if c.WarmupS < 0 || c.WarmupS >= c.HorizonS {
+		return c, vcfg.Bad(pkg, "Config.WarmupS", c.WarmupS, "in [0, HorizonS) (0 selects HorizonS/6)")
+	}
+	if c.WarmupS == 0 {
 		c.WarmupS = c.HorizonS / 6
 	}
-	if c.DT <= 0 {
+	if c.DT < 0 || c.DT > c.HorizonS {
+		return c, vcfg.Bad(pkg, "Config.DT", c.DT, "in (0, HorizonS] (0 selects the 1 ms default)")
+	}
+	if c.DT == 0 {
 		c.DT = 1e-3
 	}
+	if c.BarrierS < 0 {
+		return c, vcfg.Bad(pkg, "Config.BarrierS", c.BarrierS, ">= Config.DT (0 selects the 50 ms default)")
+	}
+	if c.BarrierS == 0 {
+		c.BarrierS = 0.05
+	}
+	if c.BarrierS < c.DT {
+		return c, vcfg.Bad(pkg, "Config.BarrierS", c.BarrierS, ">= Config.DT (0 selects the 50 ms default)")
+	}
+	// Epochs must tile the horizon in whole DT steps.
+	c.BarrierS = math.Round(c.BarrierS/c.DT) * c.DT
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
-	if c.RatePerS <= 0 {
-		c.RatePerS = c.Scen.RatePerS * float64(len(c.Plats))
+	if c.Workers < 0 {
+		return c, vcfg.Bad(pkg, "Config.Workers", c.Workers, ">= 0 (0 uses GOMAXPROCS)")
+	}
+	for i, spec := range c.Machines {
+		if spec.Mgr == nil {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Mgr", i), nil, "a colo.Manager (e.g. manager.AllAU{})")
+		}
+		if spec.Plat.Cores <= 0 {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Plat", i), spec.Plat.Name, "a platform with cores (platform.GenA() etc.)")
+		}
+		if spec.Role < RoleMixed || spec.Role > RoleDecode {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Role", i), int(spec.Role), "mixed (0), prefill (1), or decode (2)")
+		}
+		if spec.Standby && c.Autoscale == nil {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Standby", i), true, "paired with Config.Autoscale (standby machines join the scaling pool)")
+		}
+	}
+	classes, classOf := scenarioClasses(c)
+	if c.RatePerS < 0 {
+		return c, vcfg.Bad(pkg, "Config.RatePerS", c.RatePerS, ">= 0 (0 selects the per-machine scenario defaults)")
+	}
+	if c.RatePerS == 0 {
+		for i := range c.Machines {
+			c.RatePerS += classes[classOf[i]].RatePerS
+		}
+	}
+	prev := math.Inf(-1)
+	for i, p := range c.QPS {
+		if p.At < 0 || p.At <= prev {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.QPS[%d].At", i), p.At, "non-negative and strictly increasing")
+		}
+		if p.RatePerS <= 0 {
+			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.QPS[%d].RatePerS", i), p.RatePerS, "> 0")
+		}
+		prev = p.At
+	}
+	var err error
+	if c.Link, err = c.Link.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Autoscale != nil {
+		a, err := c.Autoscale.withDefaults()
+		if err != nil {
+			return c, err
+		}
+		c.Autoscale = &a
+		if len(classes) > 1 {
+			return c, vcfg.Bad(pkg, "Config.Autoscale", len(classes), "a single scenario class (per-class autoscaling is not modelled)")
+		}
+		for i, spec := range c.Machines {
+			if spec.Role != RoleMixed {
+				return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Role", i), spec.Role.String(), "mixed when Config.Autoscale is set (disaggregated autoscaling is not modelled)")
+			}
+		}
+	}
+	// Every class needs a non-standby arrival target, and a prefill
+	// tier needs a decode sink to hand off to.
+	for k := range classes {
+		prefillOK, decodeOK, hasPrefillRole := false, false, false
+		for i, spec := range c.Machines {
+			if classOf[i] != k || spec.Standby {
+				continue
+			}
+			if spec.Role != RoleDecode {
+				prefillOK = true
+			}
+			if spec.Role != RolePrefill {
+				decodeOK = true
+			}
+			if spec.Role == RolePrefill {
+				hasPrefillRole = true
+			}
+		}
+		if !prefillOK {
+			return c, vcfg.Bad(pkg, "Config.Machines", classes[k].Name, "served by at least one non-standby mixed or prefill machine")
+		}
+		if hasPrefillRole && !decodeOK {
+			return c, vcfg.Bad(pkg, "Config.Machines", classes[k].Name, "given a decode sink (a mixed or decode machine) for its prefill tier")
+		}
 	}
 	return c, nil
 }
 
-// Result aggregates fleet-level outcomes.
+// nodeState is a machine's position in the activation lifecycle.
+type nodeState int
+
+const (
+	stateStandby  nodeState = iota // powered off, in the scaling pool
+	stateWarming                   // powered, loading the model, not routable
+	stateActive                    // serving
+	stateDraining                  // finishing in-flight work, not routable
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateStandby:
+		return "standby"
+	case stateWarming:
+		return "warming"
+	case stateActive:
+		return "active"
+	case stateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// node is one machine plus its epoch-local state. During an epoch
+// exactly one runner goroutine touches a node; between epochs only the
+// single-threaded barrier code does.
+type node struct {
+	name     string
+	spec     MachineSpec
+	class    int
+	env      *colo.Env
+	capacity float64 // profiled requests/s (requestCapacity)
+
+	state    nodeState
+	activeAt float64 // warming -> active time
+	nextTick float64
+
+	inbox   []*serve.Request // this epoch's arrivals, sorted by Arrival
+	exports []export         // prefill completions awaiting transfer
+	pending []handoff        // KV transfers headed here; sorted from handIdx
+	handIdx int
+
+	requests int     // total fresh arrivals routed here
+	handRecv int     // handed-off requests delivered here
+	activeS  float64 // powered seconds
+
+	measured   bool
+	baseStats  serve.Stats
+	baseEnergy float64
+	baseBE     machine.TaskStats
+}
+
+// undelivered reports KV transfers still in flight toward the node.
+func (n *node) undelivered() int { return len(n.pending) - n.handIdx }
+
+func (n *node) maybeSnapshot(warmupS, now float64) {
+	if n.measured || now < warmupS {
+		return
+	}
+	n.measured = true
+	n.baseStats = n.env.Engine.Stats().Clone()
+	n.baseEnergy = n.env.M.EnergyJ()
+	if n.env.BEID != 0 {
+		n.baseBE, _ = n.env.M.Stats(n.env.BEID)
+	}
+}
+
+// Result aggregates fleet-level outcomes. Rates are post-warmup deltas
+// over the measurement window, colo-style.
 type Result struct {
-	Policy   string
-	Nodes    int
-	PerfH    float64 // guaranteed prefill tokens/s, fleet-wide
-	PerfL    float64 // guaranteed decode tokens/s
-	PerfN    float64 // harvested work units/s
-	Watts    float64
-	Eff      float64
+	Policy string
+	Nodes  int
+	PerfH  float64 // guaranteed prefill tokens/s, fleet-wide
+	PerfL  float64 // guaranteed decode tokens/s
+	PerfN  float64 // harvested co-runner work units/s
+	Watts  float64
+	Eff    float64
+
 	TTFTGuar float64
 	TPOTGuar float64
-	// Imbalance is the coefficient of variation of per-node request
-	// counts — the dispersion metric the balancer is judged on.
+	// GoodTokensPS is the fleet goodput: decode tokens produced within
+	// their SLO per second.
+	GoodTokensPS float64
+	// Imbalance is the coefficient of variation of request counts over
+	// the arrival-routable machines — the dispersion metric the
+	// balancer is judged on.
 	Imbalance float64
-	PerNode   []NodeResult
+	// Unrouted counts arrivals dropped because no powered machine
+	// could take their class (transient autoscaler gaps).
+	Unrouted int
+
+	// Disaggregation accounting.
+	Handoffs     int     // KV transfers charged on the link
+	KVBytes      float64 // bytes moved
+	MeanKVDelayS float64 // mean prefill-done -> decode-arrival delay
+
+	// Autoscaling accounting.
+	ScaleEvents          []ScaleEvent
+	MachineSecondsActive float64 // powered machine-seconds over the horizon
+
+	PerNode []NodeResult
 }
 
 // NodeResult is one machine's share of the fleet outcome.
 type NodeResult struct {
-	Name     string
-	Requests int
-	PerfL    float64
-	Watts    float64
+	Name       string
+	Role       string
+	State      string // lifecycle state at the horizon
+	Requests   int
+	HandoffsIn int
+	PerfH      float64
+	PerfL      float64
+	Watts      float64
+	ActiveS    float64
 }
 
-// Run executes a fleet experiment.
-func Run(cfg Config) (Result, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return Result{}, err
-	}
-
-	nodes := make([]*Node, len(cfg.Plats))
+func run(cfg Config) (Result, error) {
+	classes, classOf := scenarioClasses(cfg)
 	gamma := 0.0
 	if cfg.BE != nil {
 		gamma = cfg.BE.RevenuePrice
 	}
-	for i, plat := range cfg.Plats {
-		m := machine.New(plat)
+
+	nodes := make([]*node, len(cfg.Machines))
+	for i, spec := range cfg.Machines {
+		scen := classes[classOf[i]]
+		m := machine.New(spec.Plat)
 		mon := perfmon.NewMonitor(256)
 		mon.Attach(m)
-		eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO})
+		var scope *telemetry.Registry
+		if cfg.Telemetry != nil {
+			scope = cfg.Telemetry.Child(fmt.Sprintf("m%02d", i))
+		}
+		m.SetTelemetry(scope)
+		n := &node{name: fmt.Sprintf("%s-%d", spec.Plat.Name, i), spec: spec, class: classOf[i]}
+		engCfg := serve.Config{Model: cfg.Model, SLO: scen.SLO, Telemetry: scope}
+		if spec.Role == RolePrefill {
+			engCfg.Handoff = func(r *serve.Request, now float64) {
+				n.exports = append(n.exports, export{req: r, readyAt: now})
+			}
+		}
 		env := &colo.Env{
-			Plat: plat, M: m, RDT: rdt.New(m), Engine: eng, Scen: cfg.Scen, Mon: mon,
+			Plat: spec.Plat, M: m, RDT: rdt.New(m),
+			Engine: serve.NewEngine(engCfg), Scen: scen, Mon: mon,
 		}
+		env.RDT.SetTelemetry(scope)
 		if cfg.BE != nil {
-			env.BEApp = workload.New(*cfg.BE, cfg.Seed+uint64(i)*13+7)
+			env.BEApp = workload.New(*cfg.BE, rng.Derive(cfg.Seed, uint64(i)).Uint64())
 		}
-		if err := cfg.Managers[i].Setup(env); err != nil {
-			return Result{}, fmt.Errorf("cluster: node %d setup: %w", i, err)
+		if err := spec.Mgr.Setup(env); err != nil {
+			return Result{}, fmt.Errorf("cluster: %s setup: %w", n.name, err)
 		}
 		if env.PrefillID == 0 || env.DecodeID == 0 {
-			return Result{}, fmt.Errorf("cluster: node %d manager placed no LLM", i)
+			return Result{}, fmt.Errorf("cluster: %s manager placed no LLM", n.name)
 		}
-		nodes[i] = &Node{
-			Name:          fmt.Sprintf("%s-%d", plat.Name, i),
-			Env:           env,
-			Mgr:           cfg.Managers[i],
-			CapacityTokPS: requestCapacity(plat, cfg.Model, cfg.Scen),
+		n.env = env
+		n.capacity = requestCapacity(spec.Plat, cfg.Model, scen)
+		n.nextTick = spec.Mgr.Interval()
+		n.state = stateActive
+		if spec.Standby {
+			n.state = stateStandby
+		}
+		nodes[i] = n
+	}
+
+	// One generator per scenario class, each on its own derived stream;
+	// a rate change rescales every class by its default-rate share.
+	gens := make([]*trace.Generator, len(classes))
+	shares := make([]float64, len(classes))
+	var shareSum float64
+	for k := range classes {
+		gens[k] = trace.NewGenerator(classes[k], rng.Derive(cfg.Seed, 1000+uint64(k)).Uint64())
+		shares[k] = classes[k].RatePerS
+		shareSum += classes[k].RatePerS
+	}
+	setRate := func(aggregate float64) {
+		for k, g := range gens {
+			g.SetRate(aggregate * shares[k] / shareSum)
 		}
 	}
 
-	gen := trace.NewGenerator(cfg.Scen, cfg.Seed)
-	gen.SetRate(cfg.RatePerS)
-	bal := balancer{policy: cfg.Policy, nodes: nodes}
+	gActive := cfg.Telemetry.Gauge("aum_fleet_active_machines")
+	gPowered := cfg.Telemetry.Gauge("aum_fleet_powered_machines")
+	gRate := cfg.Telemetry.Gauge("aum_fleet_offered_rate_per_s")
+	gQueue := cfg.Telemetry.Gauge("aum_fleet_queue_len")
+	gUtil := cfg.Telemetry.Gauge("aum_fleet_utilization")
+	cRouted := cfg.Telemetry.Counter("aum_fleet_requests_routed_total")
+	cHandoffs := cfg.Telemetry.Counter("aum_fleet_handoffs_total")
+	cScale := cfg.Telemetry.Counter("aum_fleet_scale_events_total")
 
-	requests := make([]int, len(nodes))
-	var baseStats []serve.Stats
-	baseEnergy := make([]float64, len(nodes))
-	baseBE := make([]machine.TaskStats, len(nodes))
-	baseTime := 0.0
-	measured := false
+	bal := newBalancer(cfg.Policy, len(nodes))
+	link := newKVLink(cfg.Link, len(nodes))
+	var scaler *autoscaler
+	if cfg.Autoscale != nil {
+		scaler = &autoscaler{cfg: *cfg.Autoscale}
+	}
+	var events []ScaleEvent
 
-	now := 0.0
-	for now < cfg.HorizonS {
-		for _, r := range gen.Emit(now, cfg.DT) {
-			i := bal.pick(r)
-			requests[i]++
-			if err := nodes[i].Env.Engine.Submit(r); err != nil {
-				return Result{}, err
+	ctx := context.Background()
+	ropt := runner.Options{Workers: cfg.Workers, Seed: cfg.Seed}
+	barriers := int(math.Round(cfg.HorizonS / cfg.BarrierS))
+	steps := int(math.Round(cfg.BarrierS / cfg.DT))
+	rate := cfg.RatePerS
+	qpsIdx := 0
+	shed := 0
+	var routable []int
+
+	for bi := 0; bi < barriers; bi++ {
+		start := float64(bi) * cfg.BarrierS
+		end := float64(bi+1) * cfg.BarrierS
+
+		for qpsIdx < len(cfg.QPS) && cfg.QPS[qpsIdx].At <= start+1e-9 {
+			rate = cfg.QPS[qpsIdx].RatePerS
+			qpsIdx++
+		}
+		setRate(rate)
+
+		// Lifecycle transitions, then this barrier's scaling decision.
+		for _, n := range nodes {
+			if n.state == stateWarming && start >= n.activeAt-1e-9 {
+				n.state = stateActive
+				events = append(events, ScaleEvent{At: start, Machine: n.name, Action: "active"})
 			}
+		}
+		if scaler != nil {
+			before := len(events)
+			scaler.observe(start, rate, nodes, &events)
+			cScale.Add(uint64(len(events) - before))
 		}
 		for _, n := range nodes {
-			if iv := n.Mgr.Interval(); iv > 0 && now >= n.nextTk {
-				if err := n.Mgr.Tick(n.Env, now); err != nil {
-					return Result{}, fmt.Errorf("cluster: %s tick: %w", n.Name, err)
-				}
-				n.nextTk = now + iv
+			if n.state == stateDraining && n.env.Engine.Idle() && n.undelivered() == 0 {
+				n.state = stateStandby
+				events = append(events, ScaleEvent{At: start, Machine: n.name, Action: "offline"})
 			}
 		}
-		if !measured && now >= cfg.WarmupS {
-			measured = true
-			baseTime = now
-			baseStats = make([]serve.Stats, len(nodes))
-			for i, n := range nodes {
-				baseStats[i] = n.Env.Engine.Stats().Clone()
-				baseEnergy[i] = n.Env.M.EnergyJ()
-				if n.Env.BEID != 0 {
-					baseBE[i], _ = n.Env.M.Stats(n.Env.BEID)
-				}
-			}
+
+		// Route this barrier's arrivals, class by class.
+		bal.sample(nodes)
+		queued := 0
+		for i := range nodes {
+			queued += bal.qlen[i]
 		}
+		for k, g := range gens {
+			arrivals := g.Emit(start, cfg.BarrierS)
+			if len(arrivals) == 0 {
+				continue
+			}
+			routable = routableNodes(nodes, k, routable[:0])
+			if len(routable) == 0 {
+				shed += len(arrivals)
+				continue
+			}
+			for _, r := range arrivals {
+				i := bal.pick(k, nodes, routable)
+				nodes[i].inbox = append(nodes[i].inbox, r)
+				nodes[i].requests++
+			}
+			cRouted.Add(uint64(len(arrivals)))
+		}
+
+		// Step every machine one epoch, concurrently. runner.Map's
+		// index-ordered collection makes the merge order — and hence
+		// the whole simulation — independent of the worker width.
+		if _, err := runner.Map(ctx, len(nodes), ropt,
+			func(_ context.Context, i int, _ *rng.Stream) (struct{}, error) {
+				return struct{}{}, stepEpoch(cfg, nodes[i], start, steps)
+			}); err != nil {
+			return Result{}, err
+		}
+
+		// Merge, in machine-index order: charge each prefill export's
+		// KV transfer on the link and schedule its delivery at the
+		// least-loaded decode machine, no earlier than the next barrier.
+		for i, n := range nodes {
+			if len(n.exports) == 0 {
+				continue
+			}
+			for _, ex := range n.exports {
+				tgt := pickDecodeTarget(nodes, n.class, i)
+				if tgt < 0 {
+					ex.req.Done = true
+					shed++
+					continue
+				}
+				bytes := cfg.Model.KVBytesPerToken() * float64(ex.req.PromptLen)
+				done := link.transfer(i, ex.readyAt, bytes)
+				if done < end {
+					done = end
+				}
+				t := nodes[tgt]
+				t.pending = append(t.pending, handoff{req: ex.req, deliverAt: done})
+				t.handRecv++
+			}
+			cHandoffs.Add(uint64(len(n.exports)))
+			n.exports = n.exports[:0]
+		}
+		// Interleaved sources can append out of order; keep the
+		// undelivered tail sorted by (deliverAt, ID).
 		for _, n := range nodes {
-			n.Env.M.Step(cfg.DT)
+			tail := n.pending[n.handIdx:]
+			if len(tail) > 1 {
+				sort.SliceStable(tail, func(a, b int) bool {
+					if tail[a].deliverAt != tail[b].deliverAt {
+						return tail[a].deliverAt < tail[b].deliverAt
+					}
+					return tail[a].req.ID < tail[b].req.ID
+				})
+			}
 		}
-		now += cfg.DT
-	}
-	if !measured {
-		return Result{}, fmt.Errorf("cluster: horizon shorter than warmup")
+
+		active, powered, capacity := 0, 0, 0.0
+		for _, n := range nodes {
+			switch n.state {
+			case stateActive:
+				active++
+			}
+			if n.state != stateStandby {
+				powered++
+				capacity += n.capacity
+				n.activeS += cfg.BarrierS
+			}
+		}
+		gActive.Set(float64(active))
+		gPowered.Set(float64(powered))
+		gRate.Set(rate)
+		gQueue.Set(float64(queued))
+		if capacity > 0 {
+			gUtil.Set(rate / capacity)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(end)
+		}
 	}
 
-	elapsed := now - baseTime
-	res := Result{Policy: cfg.Policy.String(), Nodes: len(nodes)}
-	var prefills, met float64
-	var tokMet, tokAll float64
-	for i, n := range nodes {
-		st := n.Env.Engine.Stats()
+	// Fleet accounting: per-node post-warmup deltas, summed.
+	elapsed := cfg.HorizonS - cfg.WarmupS
+	res := Result{Policy: cfg.Policy.String(), Nodes: len(nodes), Unrouted: shed}
+	var prefills, ttftMet, tokMet, tokAll float64
+	var counts []int
+	for _, n := range nodes {
+		n.maybeSnapshot(cfg.WarmupS, cfg.HorizonS) // no-op unless never crossed
+		st := n.env.Engine.Stats()
 		d := func(a, b float64) float64 { return (a - b) / elapsed }
-		perfH := d(st.GuaranteedPrefillTokens, baseStats[i].GuaranteedPrefillTokens)
-		perfL := d(st.TPOTMet, baseStats[i].TPOTMet)
+		perfH := d(st.GuaranteedPrefillTokens, n.baseStats.GuaranteedPrefillTokens)
+		perfL := d(st.TPOTMet, n.baseStats.TPOTMet)
+		watts := (n.env.M.EnergyJ() - n.baseEnergy) / elapsed
 		res.PerfH += perfH
 		res.PerfL += perfL
-		watts := (n.Env.M.EnergyJ() - baseEnergy[i]) / elapsed
 		res.Watts += watts
-		if n.Env.BEID != 0 {
-			cur, _ := n.Env.M.Stats(n.Env.BEID)
-			res.PerfN += cur.Sub(baseBE[i]).Work / elapsed
+		if n.env.BEID != 0 {
+			cur, _ := n.env.M.Stats(n.env.BEID)
+			res.PerfN += cur.Sub(n.baseBE).Work / elapsed
 		}
-		prefills += float64(st.PrefillRequests - baseStats[i].PrefillRequests)
-		met += float64(st.TTFTMetScaled - baseStats[i].TTFTMetScaled)
-		tokAll += st.DecodeTokens - baseStats[i].DecodeTokens
-		tokMet += st.TPOTMet - baseStats[i].TPOTMet
+		res.GoodTokensPS += d(st.GuaranteedTokens, n.baseStats.GuaranteedTokens)
+		prefills += float64(st.PrefillRequests - n.baseStats.PrefillRequests)
+		ttftMet += float64(st.TTFTMetScaled - n.baseStats.TTFTMetScaled)
+		tokAll += st.DecodeTokens - n.baseStats.DecodeTokens
+		tokMet += st.TPOTMet - n.baseStats.TPOTMet
+		res.MachineSecondsActive += n.activeS
+		if n.spec.Role != RoleDecode && !n.spec.Standby {
+			counts = append(counts, n.requests)
+		}
 		res.PerNode = append(res.PerNode, NodeResult{
-			Name: n.Name, Requests: requests[i], PerfL: perfL, Watts: watts,
+			Name: n.name, Role: n.spec.Role.String(), State: n.state.String(),
+			Requests: n.requests, HandoffsIn: n.handRecv,
+			PerfH: perfH, PerfL: perfL, Watts: watts, ActiveS: n.activeS,
 		})
 	}
 	if prefills > 0 {
-		res.TTFTGuar = met / prefills
+		res.TTFTGuar = ttftMet / prefills
 	}
 	if tokAll > 0 {
 		res.TPOTGuar = tokMet / tokAll
 	}
 	res.Eff = metrics.Efficiency(metrics.DefaultPrices(gamma), res.PerfH, res.PerfL, res.PerfN, res.Watts)
-	res.Imbalance = coefficientOfVariation(requests)
+	res.Imbalance = coefficientOfVariation(counts)
+	res.Handoffs = link.count
+	res.KVBytes = link.bytes
+	if link.count > 0 {
+		res.MeanKVDelayS = link.delaySum / float64(link.count)
+	}
+	res.ScaleEvents = events
 	return res, nil
 }
 
-// balancer implements the three routing policies.
-type balancer struct {
-	policy  Policy
-	nodes   []*Node
-	rr      int
-	credits []float64 // weighted-deficit state for AUVAware
+// stepEpoch advances one machine through [start, start+steps*DT),
+// submitting its epoch inbox and delivering matured KV handoffs at
+// their in-epoch times. It runs on a runner goroutine; it touches only
+// its own node.
+func stepEpoch(cfg Config, n *node, start float64, steps int) error {
+	if n.state == stateStandby {
+		// Powered off: the clock advances, nothing runs, no energy
+		// accrues.
+		n.env.M.AdvanceIdle(float64(steps) * cfg.DT)
+		n.maybeSnapshot(cfg.WarmupS, n.env.M.Now())
+		return nil
+	}
+	eng := n.env.Engine
+	ri := 0
+	for k := 0; k < steps; k++ {
+		now := start + float64(k)*cfg.DT
+		for ri < len(n.inbox) && n.inbox[ri].Arrival <= now+cfg.DT {
+			if err := eng.Submit(n.inbox[ri]); err != nil {
+				return err
+			}
+			ri++
+		}
+		for n.handIdx < len(n.pending) && n.pending[n.handIdx].deliverAt <= now+cfg.DT {
+			if err := eng.InjectDecode(n.pending[n.handIdx].req, now+cfg.DT); err != nil {
+				return fmt.Errorf("cluster: %s: %w", n.name, err)
+			}
+			n.handIdx++
+		}
+		if iv := n.spec.Mgr.Interval(); iv > 0 && now >= n.nextTick {
+			if err := n.spec.Mgr.Tick(n.env, now); err != nil {
+				return fmt.Errorf("cluster: %s tick: %w", n.name, err)
+			}
+			n.nextTick += iv
+		}
+		n.maybeSnapshot(cfg.WarmupS, now)
+		n.env.M.Step(cfg.DT)
+	}
+	n.inbox = n.inbox[:0]
+	return nil
 }
 
-func (b *balancer) pick(r *serve.Request) int {
-	switch b.policy {
-	case LeastQueued:
-		best, bestQ := 0, math.MaxInt
-		for i, n := range b.nodes {
-			if q := n.Env.Engine.QueueLen(); q < bestQ {
-				best, bestQ = i, q
-			}
+// routableNodes lists the machines that may receive class-k arrivals:
+// active, serving the class, and able to prefill.
+func routableNodes(nodes []*node, class int, buf []int) []int {
+	for i, n := range nodes {
+		if n.state == stateActive && n.class == class && n.spec.Role != RoleDecode {
+			buf = append(buf, i)
 		}
-		return best
-	case AUVAware:
-		// Weighted-deficit routing: every node accrues credit
-		// proportional to its profiled AU capacity, discounted by its
-		// live prompt backlog and decode pressure; the winner pays the
-		// fleet total. Long-run shares track capacity; transient
-		// congestion steers work away immediately.
-		if b.credits == nil {
-			b.credits = make([]float64, len(b.nodes))
-		}
-		var fleet float64
-		for _, n := range b.nodes {
-			fleet += n.CapacityTokPS
-		}
-		best, bestScore := 0, math.Inf(-1)
-		for i, n := range b.nodes {
-			b.credits[i] += n.CapacityTokPS
-			eng := n.Env.Engine
-			// Backlog in request-equivalents: queued prompts plus the
-			// decode slots already committed.
-			backlog := float64(eng.QueueLen()) + 0.25*float64(eng.DecodeBatch())
-			if score := b.credits[i] - backlog*n.CapacityTokPS; score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		b.credits[best] -= fleet
-		return best
-	default:
-		i := b.rr % len(b.nodes)
-		b.rr++
-		return i
 	}
+	return buf
+}
+
+// pickDecodeTarget selects the decode sink with the lightest committed
+// load (batch + backlog + transfers already in flight to it),
+// preferring dedicated decode machines over mixed ones. Ties break on
+// the lowest index — the merge stays deterministic.
+func pickDecodeTarget(nodes []*node, class, src int) int {
+	for _, dedicated := range []bool{true, false} {
+		best, bestLoad := -1, math.MaxInt
+		for i, n := range nodes {
+			if i == src || n.class != class || n.state != stateActive {
+				continue
+			}
+			if dedicated != (n.spec.Role == RoleDecode) || n.spec.Role == RolePrefill {
+				continue
+			}
+			load := n.env.Engine.DecodeBatch() + n.env.Engine.BacklogLen() + n.undelivered()
+			if load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
 }
 
 // prefillCapacity estimates a platform's sustainable prefill rate in
@@ -325,10 +852,10 @@ func prefillCapacity(p platform.Platform, m llm.Model) float64 {
 // requestCapacity summarizes a node's AUV into one number: how many of
 // the scenario's requests it can serve per second, limited by either
 // prefill compute or the decode iteration rate — the statistic the
-// Section VIII balancer needs ("analyze the AUV of every processor").
-// Decode capacity is evaluated with the same iteration cost model the
-// machines run, on a typical managed decode region (~26% of the cores
-// with most of the bandwidth).
+// Section VIII balancer and the autoscaler consume ("analyze the AUV
+// of every processor"). Decode capacity is evaluated with the same
+// iteration cost model the machines run, on a typical managed decode
+// region (~26% of the cores with most of the bandwidth).
 func requestCapacity(p platform.Platform, m llm.Model, scen trace.Scenario) float64 {
 	prefillReqPS := prefillCapacity(p, m) / float64(scen.MeanInput)
 	plan := m.PlanDecode(16, scen.MeanInput+scen.MeanOutput/2)

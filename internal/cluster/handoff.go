@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"aum/internal/serve"
+	"aum/internal/vcfg"
+)
+
+// LinkConfig models the interconnect that carries KV caches between
+// disaggregated prefill and decode machines. One transfer costs the
+// base latency plus PromptLen x KVBytesPerToken over the bandwidth;
+// transfers leaving the same source machine serialize on its NIC.
+type LinkConfig struct {
+	// GBps is each source machine's egress bandwidth in gigabytes per
+	// second (default 25 — a ~200 Gb/s serving fabric).
+	GBps float64
+	// LatencyS is the base per-transfer latency (default 2 ms).
+	LatencyS float64
+}
+
+func (l LinkConfig) withDefaults() (LinkConfig, error) {
+	const pkg = "cluster"
+	if l.GBps == 0 {
+		l.GBps = 25
+	}
+	if l.GBps < 0 {
+		return l, vcfg.Bad(pkg, "Config.Link.GBps", l.GBps, "> 0 (0 selects the 25 GB/s default)")
+	}
+	if l.LatencyS == 0 {
+		l.LatencyS = 2e-3
+	}
+	if l.LatencyS < 0 {
+		return l, vcfg.Bad(pkg, "Config.Link.LatencyS", l.LatencyS, ">= 0 (0 selects the 2 ms default)")
+	}
+	return l, nil
+}
+
+// export is a prefilled request leaving a prefill-tier machine, stamped
+// with its prefill completion time.
+type export struct {
+	req     *serve.Request
+	readyAt float64
+}
+
+// handoff is one prefilled request in transit to a decode machine.
+type handoff struct {
+	req       *serve.Request
+	deliverAt float64
+}
+
+// kvLink charges KV-cache transfers on the cluster interconnect.
+type kvLink struct {
+	cfg       LinkConfig
+	busyUntil []float64 // per-source NIC serialization
+	count     int
+	bytes     float64
+	delaySum  float64 // total readyAt -> arrival delay
+}
+
+func newKVLink(cfg LinkConfig, n int) *kvLink {
+	return &kvLink{cfg: cfg, busyUntil: make([]float64, n)}
+}
+
+// transfer schedules one KV-cache move off machine src starting no
+// earlier than readyAt and returns its completion time.
+func (l *kvLink) transfer(src int, readyAt, bytes float64) float64 {
+	start := readyAt
+	if l.busyUntil[src] > start {
+		start = l.busyUntil[src]
+	}
+	done := start + l.cfg.LatencyS + bytes/(l.cfg.GBps*1e9)
+	l.busyUntil[src] = done
+	l.count++
+	l.bytes += bytes
+	l.delaySum += done - readyAt
+	return done
+}

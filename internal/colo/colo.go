@@ -19,6 +19,7 @@ import (
 	"aum/internal/serve"
 	"aum/internal/telemetry"
 	"aum/internal/trace"
+	"aum/internal/vcfg"
 	"aum/internal/workload"
 )
 
@@ -124,20 +125,39 @@ type Config struct {
 	TraceSink *telemetry.Trace
 }
 
-func (c Config) withDefaults() Config {
-	if c.HorizonS <= 0 {
+func (c Config) withDefaults() (Config, error) {
+	const pkg = "colo"
+	if c.Plat.Cores <= 0 {
+		return c, vcfg.Bad(pkg, "Config.Plat", c.Plat.Name, "a platform with cores (platform.GenA() etc.)")
+	}
+	if c.Manager == nil {
+		return c, vcfg.Bad(pkg, "Config.Manager", nil, "a Manager (e.g. manager.AllAU{})")
+	}
+	if c.HorizonS < 0 {
+		return c, vcfg.Bad(pkg, "Config.HorizonS", c.HorizonS, "> 0 (0 selects the 60 s default)")
+	}
+	if c.HorizonS == 0 {
 		c.HorizonS = 60
 	}
-	if c.WarmupS <= 0 {
+	if c.WarmupS < 0 || c.WarmupS >= c.HorizonS {
+		return c, vcfg.Bad(pkg, "Config.WarmupS", c.WarmupS, "in [0, HorizonS) (0 selects HorizonS/6)")
+	}
+	if c.WarmupS == 0 {
 		c.WarmupS = c.HorizonS / 6
 	}
-	if c.DT <= 0 {
+	if c.DT < 0 || c.DT > c.HorizonS {
+		return c, vcfg.Bad(pkg, "Config.DT", c.DT, "in (0, HorizonS] (0 selects the 1 ms default)")
+	}
+	if c.DT == 0 {
 		c.DT = 1e-3
+	}
+	if c.RatePerS < 0 {
+		return c, vcfg.Bad(pkg, "Config.RatePerS", c.RatePerS, ">= 0 (0 selects the scenario default)")
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
-	return c
+	return c, nil
 }
 
 // AllocSample is one Figure 18 observation of the shared application's
@@ -303,7 +323,10 @@ func (v *violationMonitor) finish(horizon float64) (windows []ViolationWindow, s
 
 // Run executes one co-location experiment.
 func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
 	m := machine.New(cfg.Plat)
 	mon := perfmon.NewMonitor(0)
 	mon.Attach(m)

@@ -2,6 +2,7 @@ package colo
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"aum/internal/chaos"
@@ -10,6 +11,7 @@ import (
 	"aum/internal/platform"
 	"aum/internal/serve"
 	"aum/internal/trace"
+	"aum/internal/vcfg"
 	"aum/internal/workload"
 )
 
@@ -318,5 +320,40 @@ func TestViolationMonitorWindows(t *testing.T) {
 	w2, open2 := mon2.finish(0.6)
 	if !open2 || len(w2) != 1 || w2[0].Start != 0 || w2[0].End != 0.6 {
 		t.Fatalf("open window mishandled: %+v open=%v", w2, open2)
+	}
+}
+
+// TestConfigValidationNamesFields: bad knobs come back as vcfg field
+// errors naming the offending field and its legal range — the shared
+// idiom across colo, cluster, and experiments.
+func TestConfigValidationNamesFields(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"no platform", func(c *Config) { c.Plat = platform.Platform{} }, "Config.Plat"},
+		{"no manager", func(c *Config) { c.Manager = nil }, "Config.Manager"},
+		{"negative horizon", func(c *Config) { c.HorizonS = -4 }, "Config.HorizonS"},
+		{"warmup past horizon", func(c *Config) { c.WarmupS = 99 }, "Config.WarmupS"},
+		{"dt past horizon", func(c *Config) { c.DT = 20 }, "Config.DT"},
+		{"negative rate", func(c *Config) { c.RatePerS = -1 }, "Config.RatePerS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tc.mut(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			var fe *vcfg.FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("not a vcfg.FieldError: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("error %q does not name %s", err, tc.field)
+			}
+		})
 	}
 }

@@ -277,6 +277,31 @@ func TestSharingExperimentsQuick(t *testing.T) {
 		}
 	})
 
+	t.Run("fleet", func(t *testing.T) {
+		tbl, err := runFleet(lab, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrG, _ := tbl.Get("round-robin", "goodtok/s")
+		lqG, _ := tbl.Get("least-queued", "goodtok/s")
+		awG, _ := tbl.Get("auv-aware", "goodtok/s")
+		// The headline claim: capacity-aware routing wins fleet goodput
+		// on the heterogeneous fleet.
+		if awG < lqG || awG < rrG*0.98 {
+			t.Fatalf("auv-aware goodput %v should beat least-queued %v and round-robin %v", awG, lqG, rrG)
+		}
+		horizon, _, _ := o.horizons()
+		machS, _ := tbl.Get("auv+autoscale", "mach-s")
+		if machS <= 0 || machS >= 3*horizon {
+			t.Fatalf("autoscale machine-seconds %v should be under the always-on %v", machS, 3*horizon)
+		}
+		hand, _ := tbl.Get("disagg-pd", "handoffs")
+		disG, _ := tbl.Get("disagg-pd", "goodtok/s")
+		if hand <= 0 || disG <= 0 {
+			t.Fatalf("disaggregated row moved no KV traffic (handoffs %v, goodput %v)", hand, disG)
+		}
+	})
+
 	t.Run("auservice", func(t *testing.T) {
 		tbl, err := runAUService(lab, o)
 		if err != nil {

@@ -40,12 +40,14 @@ func runCluster(l *Lab, o Options) (*Table, error) {
 			// split overloads GenA at this aggregate rate while GenB
 			// coasts — exactly the heterogeneity Section VIII says
 			// per-machine AUV should resolve.
-			Plats:    []platform.Platform{platform.GenA(), platform.GenB()},
+			Machines: []cluster.MachineSpec{
+				{Plat: platform.GenA(), Mgr: &manager.RPAU{}},
+				{Plat: platform.GenB(), Mgr: &manager.RPAU{}},
+			},
 			Model:    llm.Llama2_7B(),
 			Scen:     trace.Chatbot(),
 			BE:       &jbb,
 			Policy:   policies[i],
-			Managers: []colo.Manager{&manager.RPAU{}, &manager.RPAU{}},
 			HorizonS: horizon, Seed: o.Seed,
 			RatePerS: 2.0,
 		})

@@ -119,7 +119,7 @@ func TestParallelWidthDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiments skipped in -short")
 	}
-	ids := []string{"fig10", "auservice"}
+	ids := []string{"fig10", "auservice", "fleet"}
 	render := func(width int) map[string]string {
 		lab := NewLab()
 		lab.SetWorkers(width)

@@ -313,6 +313,17 @@ func (m *Machine) Platform() platform.Platform { return m.plat }
 // Now returns the simulation time in seconds.
 func (m *Machine) Now() float64 { return m.now }
 
+// AdvanceIdle moves the clock forward without simulating: no task
+// runs, no energy accrues. Fleet simulations use it for powered-off
+// (standby / drained) machines so their clocks stay aligned with the
+// cluster's tick barriers and a later activation sees correct absolute
+// time.
+func (m *Machine) AdvanceIdle(dt float64) {
+	if dt > 0 {
+		m.now += dt
+	}
+}
+
 // EnergyJ returns total package energy consumed so far.
 func (m *Machine) EnergyJ() float64 { return m.energyJ }
 

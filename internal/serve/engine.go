@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 
 	"aum/internal/llm"
@@ -32,6 +33,14 @@ type Config struct {
 	// Trace, when set, receives per-request queue/prefill/decode spans
 	// in Chrome trace_event form.
 	Trace *telemetry.Trace
+	// Handoff, when set, turns the engine into the prefill half of a
+	// disaggregated prefill/decode pair: instead of joining this
+	// engine's decode batch, each request is passed to the callback at
+	// prefill completion (after its TTFT is recorded) so the caller can
+	// transfer its KV cache to a decode-tier engine and admit it there
+	// via InjectDecode. Requests whose OutputLen is satisfied by the
+	// first token still retire locally.
+	Handoff func(r *Request, now float64)
 }
 
 // Admission is the engine's overload policy. The zero value admits
@@ -80,6 +89,11 @@ type Engine struct {
 	decodeSet    []*Request // in continuous-batching decode
 	admitBacklog []*Request // prefilled, waiting for a decode slot
 	stats        Stats
+
+	// inflightPrefill counts requests popped from the queue into a
+	// prefill job that has not completed yet: they are in no engine
+	// list, so Idle must account for them separately.
+	inflightPrefill int
 
 	prefill *Worker
 	decode  *Worker
@@ -146,6 +160,42 @@ func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // DecodeBatch returns the current decode batch size.
 func (e *Engine) DecodeBatch() int { return len(e.decodeSet) }
+
+// BacklogLen returns the number of prefilled requests waiting for a
+// decode slot.
+func (e *Engine) BacklogLen() int { return len(e.admitBacklog) }
+
+// Idle reports whether the engine holds no request in any stage —
+// queued, mid-prefill, decoding, or backlogged. A draining fleet
+// machine may only power off once its engine is idle.
+func (e *Engine) Idle() bool {
+	return len(e.queue) == 0 && e.inflightPrefill == 0 &&
+		len(e.decodeSet) == 0 && len(e.admitBacklog) == 0
+}
+
+// InjectDecode admits a request prefilled on another engine into this
+// engine's decode batch — the receiving half of disaggregated
+// prefill/decode serving. The caller delivers it after the KV-cache
+// transfer completes; LastTokenAt is deliberately left at the
+// prefill-side completion time so the transfer delay is charged to the
+// first decode-token interval. Overflow beyond the backlog bound is
+// shed exactly like a local prefill completion.
+func (e *Engine) InjectDecode(r *Request, now float64) error {
+	if r == nil || r.Done || r.TokensDone < 1 {
+		return fmt.Errorf("serve: InjectDecode needs a completed, unfinished prefill")
+	}
+	e.stats.Injected++
+	if len(e.decodeSet) < e.cfg.MaxBatch {
+		e.decodeSet = append(e.decodeSet, r)
+	} else if mb := e.cfg.Admission.MaxBacklog; mb < 0 || len(e.admitBacklog) < mb {
+		e.admitBacklog = append(e.admitBacklog, r)
+	} else {
+		r.Done = true
+		e.stats.BacklogDropped++
+		e.tel.recordBacklogDrop(now)
+	}
+	return nil
+}
 
 // HeadWait returns how long the oldest queued request has been waiting
 // at time now — the t_wait of Algorithm 1 line 1.
@@ -234,6 +284,7 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 			chunk = remaining
 		}
 		plan := e.cfg.Model.PlanPrefill(1, chunk)
+		e.inflightPrefill++
 		return &job{plan: plan, reqs: []*Request{r}, chunkTokens: chunk}
 	}
 	n := e.cfg.PrefillBatch
@@ -254,6 +305,7 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 		seq = 1
 	}
 	plan := e.cfg.Model.PlanPrefill(n, seq)
+	e.inflightPrefill += n
 	return &job{plan: plan, reqs: reqs}
 }
 
@@ -278,6 +330,7 @@ func (e *Engine) nextDecodeJob(now float64) *job {
 // boundary). Chunked jobs that did not finish the prompt rotate the
 // request to the back of the queue instead.
 func (e *Engine) onPrefillDone(j *job, now float64) {
+	e.inflightPrefill -= len(j.reqs)
 	if j.chunkTokens > 0 {
 		r := j.reqs[0]
 		r.prefillDone += j.chunkTokens
@@ -297,6 +350,11 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 			r.Done = true
 			e.stats.FinishedOutput++
 			e.tel.recordRetire(r, now)
+			continue
+		}
+		if e.cfg.Handoff != nil {
+			e.stats.HandedOff++
+			e.cfg.Handoff(r, now)
 			continue
 		}
 		if len(e.decodeSet) < e.cfg.MaxBatch {

@@ -38,6 +38,10 @@ type Stats struct {
 	Rejected       int // shed at Submit by MaxQueue / MaxHeadWait
 	TimedOut       int // dropped from the queue past their Deadline
 	BacklogDropped int // prefilled but shed at the bounded decode backlog
+
+	// Disaggregated-serving traffic (zero for a self-contained engine).
+	HandedOff int // prefills exported via Config.Handoff
+	Injected  int // remote prefills admitted via InjectDecode
 }
 
 func pushBounded(s []float64, v float64) []float64 {

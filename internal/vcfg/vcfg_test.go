@@ -1,0 +1,23 @@
+package vcfg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFieldErrorNamesFieldAndRange(t *testing.T) {
+	err := Bad("colo", "Config.DT", -0.5, "> 0 (0 selects the 1 ms default)")
+	for _, want := range []string{"colo", "Config.DT", "-0.5", "> 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Fatal("Bad must return a *FieldError")
+	}
+	if fe.Field != "Config.DT" || fe.Pkg != "colo" {
+		t.Fatalf("wrong fields: %+v", fe)
+	}
+}
