@@ -50,6 +50,7 @@ func BenchmarkExperiment(b *testing.B) {
 	for _, e := range experiments.Registry() {
 		e := e
 		b.Run(e.ID, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tbl, err := e.Run(lab(), experiments.Options{Quick: true})
 				if err != nil {
@@ -69,6 +70,7 @@ func BenchmarkExperiment(b *testing.B) {
 // fresh lab per iteration — the wall-clock figure the hot-path
 // optimizations are judged by (run with -benchtime 1x in CI).
 func BenchmarkFullSuiteQuick(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l := experiments.NewLab()
 		for _, e := range experiments.Registry() {
@@ -84,6 +86,7 @@ func BenchmarkFullSuiteQuick(b *testing.B) {
 // BenchmarkRunnerMap measures the per-scenario dispatch overhead of the
 // parallel runner with trivial scenario bodies.
 func BenchmarkRunnerMap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := runner.Map(context.Background(), 256, runner.Options{Seed: 1},
 			func(_ context.Context, j int, r *rng.Stream) (uint64, error) {
@@ -98,6 +101,7 @@ func BenchmarkRunnerMap(b *testing.B) {
 // BenchmarkMachineStep measures one 1 ms simulator step with a typical
 // three-task co-location (the inner loop of every experiment).
 func BenchmarkMachineStep(b *testing.B) {
+	b.ReportAllocs()
 	plat := platform.GenA()
 	m := machine.New(plat)
 	jbb := workload.New(workload.SPECjbb(), 1)
@@ -123,6 +127,7 @@ var benchCostSink llm.IterationCost
 // BenchmarkCostIteration measures the LLM iteration cost model, the
 // kernel-level hot path of the serving workers.
 func BenchmarkCostIteration(b *testing.B) {
+	b.ReportAllocs()
 	plat := platform.GenA()
 	model := llm.Llama2_7B()
 	plan := model.PlanDecode(16, 600)
@@ -138,6 +143,7 @@ var benchSolSink power.Solution
 
 // BenchmarkGovernorSolve measures the TDP/license frequency solve.
 func BenchmarkGovernorSolve(b *testing.B) {
+	b.ReportAllocs()
 	gov := power.NewGovernor(platform.GenA())
 	loads := []power.RegionLoad{
 		{Cores: 53, Class: power.AMXHeavy, Util: 0.9},
@@ -154,6 +160,7 @@ var benchGrantSink []float64
 
 // BenchmarkMaxMin measures the bandwidth arbitration.
 func BenchmarkMaxMin(b *testing.B) {
+	b.ReportAllocs()
 	dem := []float64{300, 40, 12, 5}
 	wts := []float64{29, 53, 14, 4}
 	caps := []float64{233, 233, 120, 40}
@@ -173,6 +180,7 @@ func BenchmarkControllerDecision(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		best := -1.0
@@ -190,6 +198,7 @@ func BenchmarkControllerDecision(b *testing.B) {
 // BenchmarkProfilerRun measures one profiling execution (one bucket,
 // one repetition) — 450 of these build the paper-fidelity AUV model.
 func BenchmarkProfilerRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := core.Profile(platform.GenA(), llm.Llama2_7B(), trace.Chatbot(), workload.SPECjbb(),
 			core.ProfilerOptions{Reps: 1, HorizonS: 4, Seed: uint64(i) + 1})
@@ -207,6 +216,7 @@ func BenchmarkProfilerRun(b *testing.B) {
 func BenchmarkAblationTimestep(b *testing.B) {
 	for _, dt := range []float64{5e-4, 1e-3, 2e-3} {
 		b.Run(fmt.Sprintf("dt=%v", dt), func(b *testing.B) {
+			b.ReportAllocs()
 			plat := platform.GenA()
 			for i := 0; i < b.N; i++ {
 				m := machine.New(plat)
@@ -228,6 +238,7 @@ func BenchmarkAblationTimestep(b *testing.B) {
 func BenchmarkAblationBuckets(b *testing.B) {
 	for _, reps := range []int{1, 3} {
 		b.Run(fmt.Sprintf("reps=%d", reps), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := core.Profile(platform.GenA(), llm.Llama2_7B(), trace.Chatbot(), workload.SPECjbb(),
 					core.ProfilerOptions{Reps: reps, HorizonS: 4, Seed: uint64(i) + 1})

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"aum"
@@ -42,6 +43,10 @@ type benchReport struct {
 	GoMaxProcs  int               `json:"go_max_procs"`
 	TotalS      float64           `json:"total_s"`
 	Experiments []experimentTimed `json:"experiments"`
+	// HotPaths pins the simulator's per-step cost and allocation
+	// count (aum.MeasureHotPaths) next to the wall clocks, so the
+	// perf trajectory records both levels.
+	HotPaths []aum.HotPathBench `json:"hot_paths,omitempty"`
 }
 
 type experimentTimed struct {
@@ -60,9 +65,42 @@ func main() {
 		workers   = flag.Int("workers", 0, "per-experiment fan-out width (0 = default); never changes results")
 		benchOut  = flag.String("bench-out", "BENCH_results.json", "timing report path ('' disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file from one instrumented run ('' disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file ('' disables)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file ('' disables)")
 	)
 	flag.StringVar(run, "experiment", "", "alias for -run")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, *seed, 8); err != nil {
@@ -136,6 +174,7 @@ func main() {
 	}
 	report.TotalS, _ = snap.GaugeValue("aumbench_suite_wall_seconds")
 	if *benchOut != "" && len(report.Experiments) > 0 {
+		report.HotPaths = aum.MeasureHotPaths()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"aum"
 )
@@ -12,14 +13,20 @@ import (
 // serveTelemetry exposes the registry over HTTP for the lifetime of
 // the listener:
 //
-//	/metrics  Prometheus text exposition (0.0.4) of a fresh snapshot
-//	/events   the structured event ring as JSON, oldest first
-//	/healthz  liveness probe
+//	/metrics      Prometheus text exposition (0.0.4) of a fresh snapshot
+//	/events       the structured event ring as JSON, oldest first
+//	/healthz      liveness probe
+//	/debug/pprof  Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Every request snapshots the registry, so responses are internally
 // consistent even while the simulation is mutating metrics.
 func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := aum.WritePrometheus(w, reg.Snapshot()); err != nil {

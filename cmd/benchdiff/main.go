@@ -1,0 +1,154 @@
+// Command benchdiff compares two aumbench timing reports
+// (BENCH_results.json schema) benchstat-style: one row per experiment
+// with the old and new wall clocks and the relative delta, flagging
+// regressions beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_results.json -new /tmp/new.json
+//	benchdiff -old base.json -new head.json -threshold 0.10 -strict
+//
+// Exit status is 0 unless -strict is set and at least one experiment
+// regressed by more than -threshold. CI runs it non-strict: runner
+// wall clocks are noisy, so regressions surface as warnings on the
+// job log rather than hard failures, and the checked-in baseline is
+// refreshed deliberately alongside performance work.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the aumbench BENCH_results.json schema (only the
+// fields benchdiff consumes).
+type report struct {
+	Suite       string  `json:"suite"`
+	Quick       bool    `json:"quick"`
+	TotalS      float64 `json:"total_s"`
+	Experiments []struct {
+		ID    string  `json:"id"`
+		WallS float64 `json:"wall_s"`
+	} `json:"experiments"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// row is one comparison line.
+type row struct {
+	id         string
+	oldS       float64
+	newS       float64
+	delta      float64 // (new-old)/old; NaN-free: only set when oldS > 0
+	status     string  // "", "faster", "REGRESSION", "new", "removed"
+	comparable bool
+}
+
+// flagFloorS is the wall clock below which an experiment is too fast
+// to flag: relative deltas on sub-50ms runs are timer noise, not
+// signal. Rows below the floor still print, just unmarked.
+const flagFloorS = 0.05
+
+// compare joins the two reports in the new report's experiment order,
+// appending experiments that only exist in the old one.
+func compare(oldR, newR report, threshold float64) (rows []row, regressions int) {
+	oldW := make(map[string]float64, len(oldR.Experiments))
+	for _, e := range oldR.Experiments {
+		oldW[e.ID] = e.WallS
+	}
+	seen := make(map[string]bool, len(newR.Experiments))
+	for _, e := range newR.Experiments {
+		seen[e.ID] = true
+		r := row{id: e.ID, newS: e.WallS}
+		if w, ok := oldW[e.ID]; ok {
+			r.oldS = w
+			if w > 0 {
+				r.comparable = true
+				r.delta = (e.WallS - w) / w
+				switch {
+				case w < flagFloorS && e.WallS < flagFloorS:
+					// too fast to distinguish signal from timer noise
+				case r.delta > threshold:
+					r.status = "REGRESSION"
+					regressions++
+				case r.delta < -threshold:
+					r.status = "faster"
+				}
+			}
+		} else {
+			r.status = "new"
+		}
+		rows = append(rows, r)
+	}
+	for _, e := range oldR.Experiments {
+		if !seen[e.ID] {
+			rows = append(rows, row{id: e.ID, oldS: e.WallS, status: "removed"})
+		}
+	}
+	return rows, regressions
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_results.json", "baseline timing report")
+	newPath := flag.String("new", "", "candidate timing report")
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+	strict := flag.Bool("strict", false, "exit non-zero when regressions are found")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	oldR, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newR, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows, regressions := compare(oldR, newR, *threshold)
+	fmt.Printf("%-12s %10s %10s %8s\n", "experiment", "old(s)", "new(s)", "delta")
+	for _, r := range rows {
+		switch r.status {
+		case "new":
+			fmt.Printf("%-12s %10s %10.3f %8s  (new)\n", r.id, "-", r.newS, "-")
+		case "removed":
+			fmt.Printf("%-12s %10.3f %10s %8s  (removed)\n", r.id, r.oldS, "-", "-")
+		default:
+			mark := ""
+			if r.status != "" {
+				mark = "  " + r.status
+			}
+			if r.comparable {
+				fmt.Printf("%-12s %10.3f %10.3f %+7.1f%%%s\n", r.id, r.oldS, r.newS, 100*r.delta, mark)
+			} else {
+				fmt.Printf("%-12s %10.3f %10.3f %8s%s\n", r.id, r.oldS, r.newS, "-", mark)
+			}
+		}
+	}
+	if oldR.TotalS > 0 && newR.TotalS > 0 {
+		fmt.Printf("%-12s %10.3f %10.3f %+7.1f%%\n", "total", oldR.TotalS, newR.TotalS,
+			100*(newR.TotalS-oldR.TotalS)/oldR.TotalS)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d experiment(s) regressed more than %.0f%%\n",
+			regressions, 100**threshold)
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func rep(total float64, pairs ...any) report {
+	var r report
+	r.TotalS = total
+	for i := 0; i < len(pairs); i += 2 {
+		r.Experiments = append(r.Experiments, struct {
+			ID    string  `json:"id"`
+			WallS float64 `json:"wall_s"`
+		}{ID: pairs[i].(string), WallS: pairs[i+1].(float64)})
+	}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	oldR := rep(3.0, "a", 1.0, "b", 1.0, "c", 1.0)
+	newR := rep(2.6, "a", 1.2, "b", 0.5, "d", 0.9)
+	rows, regressions := compare(oldR, newR, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	byID := map[string]row{}
+	for _, r := range rows {
+		byID[r.id] = r
+	}
+	if byID["a"].status != "REGRESSION" {
+		t.Errorf("a: status %q, want REGRESSION", byID["a"].status)
+	}
+	if byID["b"].status != "faster" {
+		t.Errorf("b: status %q, want faster", byID["b"].status)
+	}
+	if byID["c"].status != "removed" {
+		t.Errorf("c: status %q, want removed", byID["c"].status)
+	}
+	if byID["d"].status != "new" {
+		t.Errorf("d: status %q, want new", byID["d"].status)
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	oldR := rep(1, "a", 1.0)
+	newR := rep(1, "a", 1.05)
+	rows, regressions := compare(oldR, newR, 0.10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	if rows[0].status != "" {
+		t.Fatalf("status = %q, want unmarked", rows[0].status)
+	}
+}

@@ -31,6 +31,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"aum/internal/machine"
@@ -223,6 +224,21 @@ func (in *Injector) Applied() []Applied { return in.applied }
 // Done reports whether every event (and revert) has fired.
 func (in *Injector) Done() bool {
 	return in.pos >= len(in.events) && len(in.reverts) == 0
+}
+
+// NextEventAt reports the absolute time of the next scheduled fault or
+// pending auto-revert, or +Inf when the schedule is exhausted — the
+// fast-forward horizon contract (DESIGN.md §9): Advance is a no-op for
+// any now strictly below this time.
+func (in *Injector) NextEventAt(now float64) float64 {
+	next := math.Inf(1)
+	if in.pos < len(in.events) {
+		next = in.events[in.pos].At
+	}
+	if len(in.reverts) > 0 && in.reverts[0].At < next {
+		next = in.reverts[0].At
+	}
+	return next
 }
 
 // Advance applies every event whose time has come. submit receives

@@ -321,6 +321,15 @@ func (v *violationMonitor) finish(horizon float64) (windows []ViolationWindow, s
 	return v.windows, false
 }
 
+// arrivalSource is the request stream the run loop consumes — a live
+// trace.Generator or a pinned trace.Replayer. NextEventAt lets the loop
+// compute a fast-forward skip horizon (DESIGN.md §9): Emit returns
+// nothing while now+dt stays strictly below the reported time.
+type arrivalSource interface {
+	Emit(now, dt float64) []*serve.Request
+	NextEventAt(now float64) float64
+}
+
 // Run executes one co-location experiment.
 func Run(cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
@@ -338,15 +347,15 @@ func Run(cfg Config) (Result, error) {
 
 	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO, Admission: cfg.Admission,
 		Telemetry: cfg.Telemetry, Trace: cfg.TraceSink})
-	var emit func(now, dt float64) []*serve.Request
+	var src arrivalSource
 	if cfg.Trace != nil {
-		emit = trace.NewReplayer(cfg.Trace).Emit
+		src = trace.NewReplayer(cfg.Trace)
 	} else {
 		gen := trace.NewGenerator(cfg.Scen, cfg.Seed)
 		if cfg.RatePerS > 0 {
 			gen.SetRate(cfg.RatePerS)
 		}
-		emit = gen.Emit
+		src = gen
 	}
 
 	env := &Env{
@@ -408,9 +417,16 @@ func Run(cfg Config) (Result, error) {
 	}
 	var baseStats serve.Stats
 
+	// ffOn gates the skip-horizon computation; it is hoisted because the
+	// toggle is process-global and never changes mid-run in practice.
+	ffOn := machine.FastForward()
+	// Managers that export their decision cadence (core.AUM) tighten
+	// the skip horizon through the shared event-source contract; for
+	// the rest, the loop's own nextTick bound below is authoritative.
+	mgrEv, _ := cfg.Manager.(interface{ NextEventAt(float64) float64 })
 	for m.Now() < cfg.HorizonS {
 		now := m.Now()
-		for _, r := range emit(now, cfg.DT) {
+		for _, r := range src.Emit(now, cfg.DT) {
 			if err := eng.Submit(r); err != nil {
 				return Result{}, err
 			}
@@ -455,7 +471,46 @@ func Run(cfg Config) (Result, error) {
 			baseStats = eng.Stats().Clone()
 			measured = true
 		}
-		m.Step(cfg.DT)
+		// Skip horizon (DESIGN.md §9): between this tick and the next
+		// loop-level event — arrival, chaos fault, SLO sample, manager
+		// tick, warmup snapshot, horizon — no per-tick guard above can
+		// fire, so the machine may replay quiescent steps back to back.
+		// The machine still re-checks quiescence every tick; this only
+		// batches the loop bookkeeping.
+		k := 1
+		if ffOn {
+			stop := cfg.HorizonS
+			// Emit's guard fires at nextAt <= now+dt, so the last safe
+			// tick start is one dt before the arrival.
+			if t := src.NextEventAt(now) - cfg.DT; t < stop {
+				stop = t
+			}
+			if inj != nil {
+				if t := inj.NextEventAt(now); t < stop {
+					stop = t
+				}
+			}
+			if sloMon.nextAt < stop {
+				stop = sloMon.nextAt
+			}
+			if interval > 0 && nextTick < stop {
+				stop = nextTick
+			}
+			if mgrEv != nil {
+				if t := mgrEv.NextEventAt(now); t < stop {
+					stop = t
+				}
+			}
+			if !measured && cfg.WarmupS < stop {
+				stop = cfg.WarmupS
+			}
+			// Half-a-tick safety margin absorbs the ~1-ulp drift between
+			// the accumulated clock and event times computed arithmetically.
+			if n := int((stop-now)/cfg.DT - 0.5); n > 1 {
+				k = n
+			}
+		}
+		m.StepN(cfg.DT, k)
 	}
 	if !measured {
 		snapshot()

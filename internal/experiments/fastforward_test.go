@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aum/internal/machine"
+)
+
+// renderNormalized runs one experiment on the given lab and returns its
+// normalized JSON — the same canonical form the golden snapshots use.
+func renderNormalized(t *testing.T, lab *Lab, id string, o Options) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(lab, o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	normalizeTable(tbl)
+	got, err := json.MarshalIndent(tbl, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(got)
+}
+
+// TestFastForwardByteIdentity is the fast-forward layer's core
+// contract (DESIGN.md §9): every registered experiment must produce
+// byte-identical tables with quiescence replay enabled and disabled.
+// Each mode uses a fresh Lab so the run cache cannot mask
+// re-execution.
+func TestFastForwardByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short")
+	}
+	prev := machine.FastForward()
+	defer machine.SetFastForward(prev)
+
+	o := Options{Quick: true, Seed: 42}
+	run := func(ff bool) map[string]string {
+		machine.SetFastForward(ff)
+		lab := NewLab()
+		out := make(map[string]string)
+		for _, e := range Registry() {
+			out[e.ID] = renderNormalized(t, lab, e.ID, o)
+		}
+		return out
+	}
+	slow := run(false)
+	fast := run(true)
+	for _, e := range Registry() {
+		if fast[e.ID] != slow[e.ID] {
+			t.Errorf("%s: fast-forward changed the table\nFF off:\n%s\nFF on:\n%s",
+				e.ID, slow[e.ID], fast[e.ID])
+		}
+	}
+}
+
+// TestFastForwardWidthDeterminism crosses the fast-forward toggle with
+// the parallel runner: the fleet and chaos experiments must render
+// byte-identically at widths 1, 2, and 8 whether or not replay is
+// active. Run under -race in CI, this also exercises the capture
+// state's confinement to its owning machine.
+func TestFastForwardWidthDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments skipped in -short")
+	}
+	prev := machine.FastForward()
+	defer machine.SetFastForward(prev)
+
+	ids := []string{"fleet", "chaos"}
+	o := Options{Quick: true, Seed: 42}
+	render := func(ff bool, width int) map[string]string {
+		machine.SetFastForward(ff)
+		lab := NewLab()
+		lab.SetWorkers(width)
+		out := make(map[string]string, len(ids))
+		for _, id := range ids {
+			out[id] = renderNormalized(t, lab, id, o)
+		}
+		return out
+	}
+	ref := render(false, 1)
+	for _, ff := range []bool{false, true} {
+		for _, w := range []int{1, 2, 8} {
+			if !ff && w == 1 {
+				continue
+			}
+			got := render(ff, w)
+			for _, id := range ids {
+				if got[id] != ref[id] {
+					t.Errorf("%s (ff=%v width=%d) diverged from ff=off width=1", id, ff, w)
+				}
+			}
+		}
+	}
+}

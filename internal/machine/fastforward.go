@@ -1,0 +1,202 @@
+// Quiescence-aware fast-forward (DESIGN.md §9).
+//
+// A full Step records a capture: the per-task accumulator increments it
+// produced and the solved power state. While every stepped workload
+// reports that its next step is provably identical (CanQuiesce) and the
+// governor's thermal average stays on the same side of the near-TDP
+// threshold (ReplayThermal), StepN replays the capture instead of
+// re-running demand estimation, the governor solve, and bandwidth
+// arbitration. Replay re-applies the captured increment *values* as
+// ordinary additions — never a closed-form k×increment product — so the
+// accumulated floating-point state is bit-identical to sequential
+// stepping. Any machine-API mutation invalidates the capture.
+package machine
+
+import (
+	"sync/atomic"
+
+	"aum/internal/power"
+	"aum/internal/topdown"
+)
+
+// Quiescer is an optional Workload extension. A workload that
+// implements it can declare a step quiescent: given the same
+// environment as the machine's last full step, its next Step would
+// return exactly the same Usage and mutate only state it can advance
+// itself through AdvanceQuiesced. Workloads that never quiesce simply
+// don't implement the interface and always take the full path.
+type Quiescer interface {
+	Workload
+	// CanQuiesce reports whether the next Step(dt) under an unchanged
+	// environment is provably identical to the last one. It must not
+	// mutate any state.
+	CanQuiesce(dt float64) bool
+	// AdvanceQuiesced applies exactly the internal-state mutation that
+	// Step(dt) would have applied, using the same floating-point
+	// operations, without recomputing the Usage.
+	AdvanceQuiesced(dt float64)
+}
+
+// ffOff is the global fast-forward kill switch, default off (i.e.
+// fast-forward enabled). Stored inverted so the zero value enables the
+// optimization.
+var ffOff atomic.Bool
+
+// SetFastForward toggles quiescence-aware fast-forward globally.
+// Results are byte-identical either way; disabling only costs
+// wall-clock. Intended for A/B verification and debugging.
+func SetFastForward(enabled bool) { ffOff.Store(!enabled) }
+
+// FastForward reports whether quiescence-aware fast-forward is enabled.
+func FastForward() bool { return !ffOff.Load() }
+
+// taskInc is the captured per-task accumulator increment of one step.
+// Each field holds the already-multiplied product the full Step added,
+// so replay is a plain re-addition.
+type taskInc struct {
+	work       float64
+	flops      float64
+	amxFlops   float64
+	avxFlops   float64
+	dramBytes  float64
+	freqInc    float64 // env.GHz * dt
+	utilInc    float64 // u.Util * dt
+	amxBusyInc float64 // u.AMXBusy * dt
+	avxBusyInc float64 // u.AVXBusy * dt
+	energyInc  float64 // eff * CoreWatts(...) * dt
+	breakdown  topdown.Breakdown
+}
+
+// stepCapture records everything a full Step produced that a replayed
+// step needs. sol.FreqGHz and cosGrants alias governor/arbiter scratch
+// buffers; they stay valid exactly until the next full Step, which also
+// refreshes the capture.
+type stepCapture struct {
+	valid bool
+	empty bool // the zero-task fast path
+	dt    float64
+	n     int
+
+	watts     float64 // lastWatts after the step
+	linkUtil  float64
+	energyInc float64 // package energy added per step
+
+	sol       power.Solution
+	cosGrants []float64
+
+	stepped []bool
+	quiesce []Quiescer
+	inc     []taskInc
+
+	sample    Sample // prebuilt; only Now changes per replayed step
+	hasSample bool
+}
+
+// invalidateFF drops the step capture. Every machine-API mutation that
+// could change the next step's dynamics calls it.
+func (m *Machine) invalidateFF() { m.ff.valid = false }
+
+// FFSteps returns how many steps were advanced via fast-forward replay
+// rather than a full solve, so observability can report how much
+// simulated time was fast-forwarded.
+func (m *Machine) FFSteps() uint64 { return m.ffSteps }
+
+// canReplay reports whether the next step may be replayed from the
+// capture. All checks are pure except the final gov.ReplayThermal,
+// which commits the thermal advance — it must stay last so a refusal
+// leaves the machine untouched for the full Step that follows.
+func (m *Machine) canReplay(dt float64) bool {
+	c := &m.ff
+	if !c.valid || c.dt != dt || c.n != len(m.tasks) {
+		return false
+	}
+	if c.empty {
+		return true
+	}
+	for i := range c.stepped {
+		if !c.stepped[i] {
+			continue
+		}
+		q := c.quiesce[i]
+		if q == nil || !q.CanQuiesce(dt) {
+			return false
+		}
+	}
+	return m.gov.ReplayThermal(dt)
+}
+
+// replayStep advances one tick from the capture: identical accumulator
+// additions, identical telemetry recording, identical sampler delivery.
+func (m *Machine) replayStep(dt float64) {
+	c := &m.ff
+	m.ffSteps++
+	if c.empty {
+		m.lastWatts = c.watts
+		m.energyJ += c.energyInc
+		m.now += dt
+		return
+	}
+	for i, t := range m.tasks {
+		if !c.stepped[i] {
+			continue
+		}
+		c.quiesce[i].AdvanceQuiesced(dt)
+		inc := &c.inc[i]
+		st := &t.stats
+		st.TimeS += dt
+		st.Work += inc.work
+		st.Flops += inc.flops
+		st.AMXFlops += inc.amxFlops
+		st.AVXFlops += inc.avxFlops
+		st.DRAMBytes += inc.dramBytes
+		st.FreqIntegral += inc.freqInc
+		st.UtilIntegral += inc.utilInc
+		st.AMXBusyInt += inc.amxBusyInc
+		st.AVXBusyInt += inc.avxBusyInc
+		st.EnergyJ += inc.energyInc
+		st.Breakdown.Weighted(inc.breakdown, dt)
+	}
+	m.lastWatts = c.watts
+	m.lastLinkUtil = c.linkUtil
+	m.energyJ += c.energyInc
+	m.now += dt
+	if m.tel != nil {
+		// The captured solve/demand state is exactly what a sequential
+		// step would have recomputed; scratch demands/regionOf are
+		// untouched during replay.
+		m.tel.record(m, c.sol, c.cosGrants, c.linkUtil, m.scratch.demands, m.scratch.regionOf)
+		m.tel.ffSteps.Inc()
+	}
+	if c.hasSample {
+		s := c.sample
+		s.Now = m.now
+		m.sampler(s)
+	}
+}
+
+// StepN advances the simulation by k steps of dt seconds each,
+// replaying quiescent steps from the last full step's capture when
+// fast-forward is enabled. StepN(dt, k) is byte-identical to k
+// sequential Step(dt) calls.
+func (m *Machine) StepN(dt float64, k int) {
+	ff := FastForward()
+	for ; k > 0; k-- {
+		if ff && m.canReplay(dt) {
+			m.replayStep(dt)
+		} else {
+			m.Step(dt)
+		}
+	}
+}
+
+// capture records the just-completed full step so subsequent quiescent
+// steps can be replayed. Called at the end of Step.
+func (m *Machine) captureEmpty(dt float64) {
+	c := &m.ff
+	c.valid = true
+	c.empty = true
+	c.dt = dt
+	c.n = 0
+	c.watts = m.lastWatts
+	c.energyInc = m.lastWatts * dt
+}

@@ -210,15 +210,23 @@ type COSConfig struct {
 	MBAFrac float64 // fraction of link bandwidth this class may use
 }
 
+// TaskFreq is one (task, granted frequency) pair in a Sample. Samples
+// carry these as a slice in task order rather than a map so the
+// per-step sampler path involves no hashing.
+type TaskFreq struct {
+	ID  TaskID
+	GHz float64
+}
+
 // Sample is the per-step telemetry record consumed by perfmon.
-// TaskFreqGHz aliases a per-machine buffer that is overwritten by the
+// Tasks aliases a per-machine buffer that is overwritten by the
 // next step: samplers must copy out any values they want to keep.
 type Sample struct {
 	Now          float64
 	PackageWatts float64
 	Throttled    bool
 	Hotspot      bool
-	TaskFreqGHz  map[TaskID]float64
+	Tasks        []TaskFreq
 	LinkUtil     float64
 }
 
@@ -257,7 +265,7 @@ type stepScratch struct {
 	wts       []float64 // per-COS member weights
 	cosArb    membw.Arbiter
 	taskArb   membw.Arbiter
-	freq      map[TaskID]float64 // reused Sample.TaskFreqGHz backing map
+	taskFreq  []TaskFreq // reused Sample.Tasks backing slice
 }
 
 // Machine is one simulated socket.
@@ -284,6 +292,11 @@ type Machine struct {
 	tel          *machTelemetry
 
 	scratch stepScratch
+
+	// Fast-forward state (fastforward.go): the last full step's capture
+	// and a counter of replayed steps.
+	ff      stepCapture
+	ffSteps uint64
 }
 
 // NumCOS is the number of classes of service, matching RDT's common
@@ -334,10 +347,14 @@ func (m *Machine) LastWatts() float64 { return m.lastWatts }
 func (m *Machine) LastLinkUtil() float64 { return m.lastLinkUtil }
 
 // OnSample registers a telemetry callback invoked after every step.
-func (m *Machine) OnSample(fn func(Sample)) { m.sampler = fn }
+func (m *Machine) OnSample(fn func(Sample)) {
+	m.invalidateFF()
+	m.sampler = fn
+}
 
 // AddTask places a workload on the machine.
 func (m *Machine) AddTask(wl Workload, p Placement) (TaskID, error) {
+	m.invalidateFF()
 	if err := m.validate(p, -1); err != nil {
 		return 0, err
 	}
@@ -349,6 +366,7 @@ func (m *Machine) AddTask(wl Workload, p Placement) (TaskID, error) {
 
 // RemoveTask removes a task; its accumulated stats are discarded.
 func (m *Machine) RemoveTask(id TaskID) {
+	m.invalidateFF()
 	for i, t := range m.tasks {
 		if t.id == id {
 			m.tasks = append(m.tasks[:i], m.tasks[i+1:]...)
@@ -359,6 +377,7 @@ func (m *Machine) RemoveTask(id TaskID) {
 
 // SetPlacement moves a task (the cpuset knob).
 func (m *Machine) SetPlacement(id TaskID, p Placement) error {
+	m.invalidateFF()
 	t := m.find(id)
 	if t == nil {
 		return fmt.Errorf("machine: no task %d", id)
@@ -374,6 +393,7 @@ func (m *Machine) SetPlacement(id TaskID, p Placement) error {
 // final layout. Use it for processor-division switches, where the new
 // regions transiently overlap the old ones.
 func (m *Machine) SetPlacements(moves map[TaskID]Placement) error {
+	m.invalidateFF()
 	old := make(map[TaskID]Placement, len(moves))
 	for id, p := range moves {
 		t := m.find(id)
@@ -407,6 +427,7 @@ func (m *Machine) Placement(id TaskID) (Placement, bool) {
 
 // SetCOS configures a class of service (the CAT/MBA knobs).
 func (m *Machine) SetCOS(idx int, cfg COSConfig) error {
+	m.invalidateFF()
 	if idx < 0 || idx >= len(m.cos) {
 		return fmt.Errorf("machine: COS %d out of range", idx)
 	}
@@ -438,6 +459,7 @@ func (m *Machine) Stats(id TaskID) (TaskStats, bool) {
 
 // ResetStats zeroes a task's accumulated statistics.
 func (m *Machine) ResetStats(id TaskID) {
+	m.invalidateFF()
 	if t := m.find(id); t != nil {
 		t.stats = TaskStats{}
 	}
@@ -448,6 +470,7 @@ func (m *Machine) ResetStats(id TaskID) {
 // task fully inside the range stalls). This models hot-unplug or
 // kernel isolation of a failing core cluster.
 func (m *Machine) SetOffline(lo, hi int) error {
+	m.invalidateFF()
 	if lo < 0 || hi >= m.plat.Cores || hi < lo {
 		return fmt.Errorf("machine: offline range [%d,%d] outside 0..%d", lo, hi, m.plat.Cores-1)
 	}
@@ -456,7 +479,10 @@ func (m *Machine) SetOffline(lo, hi int) error {
 }
 
 // ClearOffline restores all cores.
-func (m *Machine) ClearOffline() { m.offLo, m.offHi = 0, -1 }
+func (m *Machine) ClearOffline() {
+	m.invalidateFF()
+	m.offLo, m.offHi = 0, -1
+}
 
 // OfflineRange returns the current offline core range, if any.
 func (m *Machine) OfflineRange() (lo, hi int, ok bool) {
@@ -490,6 +516,7 @@ func (m *Machine) effCores(p Placement) int {
 // the stand-in for frequency-license flapping, where transient license
 // re-grants cap all regions below their class frequency.
 func (m *Machine) SetFreqDerate(f float64) {
+	m.invalidateFF()
 	if f <= 0 || f > 1 {
 		f = 1
 	}
@@ -501,6 +528,7 @@ func (m *Machine) SetFreqDerate(f float64) {
 // unmanaged agent), shrinking what the arbitrated tasks share and
 // inflating link congestion.
 func (m *Machine) SetBWPressure(gbs float64) {
+	m.invalidateFF()
 	if gbs < 0 {
 		gbs = 0
 	}
@@ -593,6 +621,7 @@ func (m *Machine) Step(dt float64) {
 		m.lastWatts = m.plat.UncoreWatts + float64(m.plat.Cores)*m.plat.IdleCoreW
 		m.energyJ += m.lastWatts * dt
 		m.now += dt
+		m.captureEmpty(dt)
 		return
 	}
 
@@ -723,11 +752,21 @@ func (m *Machine) Step(dt float64) {
 	}
 	linkUtil := linkUsed / m.plat.MemBWGBs
 
-	// Pass 2: final environments and execution.
+	// Pass 2: final environments and execution. Alongside the baseline
+	// accumulation, record each task's increment products in the
+	// fast-forward capture so quiescent follow-on steps can re-add the
+	// identical values (fastforward.go).
+	ffc := &m.ff
+	resizeSlice(&ffc.stepped, n)
+	resizeSlice(&ffc.quiesce, n)
+	resizeSlice(&ffc.inc, n)
 	for i, t := range m.tasks {
 		if eff[i] == 0 {
+			ffc.stepped[i] = false
 			continue // all cores offline: the task is stalled
 		}
+		ffc.stepped[i] = true
+		ffc.quiesce[i], _ = t.wl.(Quiescer)
 		env := envs[i]
 		if regionOf[i] >= 0 {
 			env.GHz = sol.FreqGHz[regionOf[i]]
@@ -750,19 +789,31 @@ func (m *Machine) Step(dt float64) {
 		env.LinkUtil = linkUtil
 
 		u := t.wl.Step(env, m.now, dt)
+		inc := &ffc.inc[i]
+		inc.work = u.Work
+		inc.flops = u.Flops
+		inc.amxFlops = u.AMXFlops
+		inc.avxFlops = u.AVXFlops
+		inc.dramBytes = u.DRAMBytes
+		inc.freqInc = env.GHz * dt
+		inc.utilInc = u.Util * dt
+		inc.amxBusyInc = u.AMXBusy * dt
+		inc.avxBusyInc = u.AVXBusy * dt
+		inc.energyInc = float64(eff[i]) *
+			m.gov.CoreWatts(demands[i].Class, u.Util, env.GHz) * dt
+		inc.breakdown = u.Breakdown
 		st := &t.stats
 		st.TimeS += dt
-		st.Work += u.Work
-		st.Flops += u.Flops
-		st.AMXFlops += u.AMXFlops
-		st.AVXFlops += u.AVXFlops
-		st.DRAMBytes += u.DRAMBytes
-		st.FreqIntegral += env.GHz * dt
-		st.UtilIntegral += u.Util * dt
-		st.AMXBusyInt += u.AMXBusy * dt
-		st.AVXBusyInt += u.AVXBusy * dt
-		st.EnergyJ += float64(eff[i]) *
-			m.gov.CoreWatts(demands[i].Class, u.Util, env.GHz) * dt
+		st.Work += inc.work
+		st.Flops += inc.flops
+		st.AMXFlops += inc.amxFlops
+		st.AVXFlops += inc.avxFlops
+		st.DRAMBytes += inc.dramBytes
+		st.FreqIntegral += inc.freqInc
+		st.UtilIntegral += inc.utilInc
+		st.AMXBusyInt += inc.amxBusyInc
+		st.AVXBusyInt += inc.avxBusyInc
+		st.EnergyJ += inc.energyInc
 		st.Breakdown.Weighted(u.Breakdown, dt)
 	}
 
@@ -771,28 +822,40 @@ func (m *Machine) Step(dt float64) {
 	m.energyJ += sol.PackageWatts * dt
 	m.now += dt
 
+	ffc.valid = true
+	ffc.empty = false
+	ffc.dt = dt
+	ffc.n = n
+	ffc.watts = sol.PackageWatts
+	ffc.linkUtil = linkUtil
+	ffc.energyInc = sol.PackageWatts * dt
+	ffc.sol = sol
+	ffc.cosGrants = cosGrants
+	ffc.hasSample = false
+
 	if m.tel != nil {
 		m.tel.record(m, sol, cosGrants, linkUtil, demands, regionOf)
 	}
 
 	if m.sampler != nil {
-		if sc.freq == nil {
-			sc.freq = make(map[TaskID]float64, n)
+		sc.taskFreq = sc.taskFreq[:0]
+		for i, t := range m.tasks {
+			if regionOf[i] >= 0 {
+				sc.taskFreq = append(sc.taskFreq, TaskFreq{ID: t.id, GHz: sol.FreqGHz[regionOf[i]]})
+			}
 		}
-		clear(sc.freq)
 		s := Sample{
 			Now:          m.now,
 			PackageWatts: sol.PackageWatts,
 			Throttled:    sol.Throttled,
 			Hotspot:      sol.Hotspot,
 			LinkUtil:     linkUtil,
-			TaskFreqGHz:  sc.freq,
+			Tasks:        sc.taskFreq,
 		}
-		for i, t := range m.tasks {
-			if regionOf[i] >= 0 {
-				s.TaskFreqGHz[t.id] = sol.FreqGHz[regionOf[i]]
-			}
-		}
+		// The slice backing stays untouched while steps replay, so the
+		// prebuilt sample needs only its Now refreshed per replayed step.
+		ffc.sample = s
+		ffc.hasSample = true
 		m.sampler(s)
 	}
 }

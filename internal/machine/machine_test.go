@@ -286,7 +286,11 @@ func TestSampler(t *testing.T) {
 	var lastFreq float64
 	m.OnSample(func(s Sample) {
 		samples++
-		lastFreq = s.TaskFreqGHz[id]
+		for _, tf := range s.Tasks {
+			if tf.ID == id {
+				lastFreq = tf.GHz
+			}
+		}
 		if s.PackageWatts <= 0 {
 			t.Error("sample without power")
 		}

@@ -16,6 +16,7 @@ type machTelemetry struct {
 
 	steps          *telemetry.Counter
 	throttledSteps *telemetry.Counter
+	ffSteps        *telemetry.Counter
 	packageWatts   *telemetry.Gauge
 	linkUtil       *telemetry.Gauge
 	hotspot        *telemetry.Gauge
@@ -32,6 +33,7 @@ type machTelemetry struct {
 // SetTelemetry attaches a registry; pass nil to detach. Attach before
 // the first Step: the per-step recording is unconditional once set.
 func (m *Machine) SetTelemetry(reg *telemetry.Registry) {
+	m.invalidateFF()
 	if reg == nil {
 		m.tel = nil
 		return
@@ -40,6 +42,7 @@ func (m *Machine) SetTelemetry(reg *telemetry.Registry) {
 		reg:            reg,
 		steps:          reg.Counter("aum_machine_steps_total"),
 		throttledSteps: reg.Counter("aum_power_throttled_steps_total"),
+		ffSteps:        reg.Counter("aum_machine_ff_steps_total"),
 		packageWatts:   reg.Gauge("aum_power_package_watts"),
 		linkUtil:       reg.Gauge("aum_membw_link_util"),
 		hotspot:        reg.Gauge("aum_power_hotspot"),

@@ -21,20 +21,47 @@ type FreqSample struct {
 	GHz float64
 }
 
+// series is a bounded sample trace. When maxKeep > 0 it becomes a ring
+// once full — new samples overwrite the oldest in place, so the steady
+// state appends without reallocating or shifting. head is the index of
+// the oldest sample (0 until the ring wraps).
+type series struct {
+	buf  []FreqSample
+	head int
+}
+
+func (r *series) push(v FreqSample, maxKeep int) {
+	if maxKeep <= 0 || len(r.buf) < maxKeep {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// ordered returns the samples oldest-first, appended to dst.
+func (r *series) ordered(dst []FreqSample) []FreqSample {
+	dst = append(dst, r.buf[r.head:]...)
+	return append(dst, r.buf[:r.head]...)
+}
+
 // Monitor collects per-step telemetry from a machine. Register it with
 // machine.OnSample before stepping.
 type Monitor struct {
 	mu       sync.Mutex
-	freq     map[machine.TaskID][]FreqSample
-	watts    []FreqSample // reuse the pair type: GHz field holds watts
-	linkUtil []FreqSample // GHz field holds utilization
+	freq     map[machine.TaskID]*series
+	watts    series // reuse the pair type: GHz field holds watts
+	linkUtil series // GHz field holds utilization
 	maxKeep  int
 }
 
 // NewMonitor returns a monitor keeping at most keep samples per series
 // (0 means unbounded).
 func NewMonitor(keep int) *Monitor {
-	return &Monitor{freq: make(map[machine.TaskID][]FreqSample), maxKeep: keep}
+	return &Monitor{freq: make(map[machine.TaskID]*series), maxKeep: keep}
 }
 
 // Attach registers the monitor on the machine.
@@ -44,20 +71,17 @@ func (mo *Monitor) Attach(m *machine.Machine) {
 
 func (mo *Monitor) record(s machine.Sample) {
 	mo.mu.Lock()
-	defer mo.mu.Unlock()
-	for id, f := range s.TaskFreqGHz {
-		mo.freq[id] = appendBounded(mo.freq[id], FreqSample{Now: s.Now, GHz: f}, mo.maxKeep)
+	for _, tf := range s.Tasks {
+		r := mo.freq[tf.ID]
+		if r == nil {
+			r = &series{}
+			mo.freq[tf.ID] = r
+		}
+		r.push(FreqSample{Now: s.Now, GHz: tf.GHz}, mo.maxKeep)
 	}
-	mo.watts = appendBounded(mo.watts, FreqSample{Now: s.Now, GHz: s.PackageWatts}, mo.maxKeep)
-	mo.linkUtil = appendBounded(mo.linkUtil, FreqSample{Now: s.Now, GHz: s.LinkUtil}, mo.maxKeep)
-}
-
-func appendBounded(s []FreqSample, v FreqSample, maxKeep int) []FreqSample {
-	s = append(s, v)
-	if maxKeep > 0 && len(s) > maxKeep {
-		s = s[len(s)-maxKeep:]
-	}
-	return s
+	mo.watts.push(FreqSample{Now: s.Now, GHz: s.PackageWatts}, mo.maxKeep)
+	mo.linkUtil.push(FreqSample{Now: s.Now, GHz: s.LinkUtil}, mo.maxKeep)
+	mo.mu.Unlock()
 }
 
 // MeanGHz returns the average observed frequency for a task over the
@@ -65,14 +89,14 @@ func appendBounded(s []FreqSample, v FreqSample, maxKeep int) []FreqSample {
 func (mo *Monitor) MeanGHz(id machine.TaskID, from, to float64) float64 {
 	mo.mu.Lock()
 	defer mo.mu.Unlock()
-	return seriesMean(mo.freq[id], from, to)
+	return seriesMean(mo.taskBuf(id), from, to)
 }
 
 // MeanWatts returns the average package power over the window.
 func (mo *Monitor) MeanWatts(from, to float64) float64 {
 	mo.mu.Lock()
 	defer mo.mu.Unlock()
-	return seriesMean(mo.watts, from, to)
+	return seriesMean(mo.watts.buf, from, to)
 }
 
 // MeanLinkUtil returns the average memory-link utilization over the
@@ -80,16 +104,28 @@ func (mo *Monitor) MeanWatts(from, to float64) float64 {
 func (mo *Monitor) MeanLinkUtil(from, to float64) float64 {
 	mo.mu.Lock()
 	defer mo.mu.Unlock()
-	return seriesMean(mo.linkUtil, from, to)
+	return seriesMean(mo.linkUtil.buf, from, to)
 }
 
-// FreqSeries returns a copy of the frequency trace of a task.
+// taskBuf returns a task's raw sample buffer (unordered once the ring
+// wraps — fine for the order-independent mean). Callers hold mo.mu.
+func (mo *Monitor) taskBuf(id machine.TaskID) []FreqSample {
+	if r := mo.freq[id]; r != nil {
+		return r.buf
+	}
+	return nil
+}
+
+// FreqSeries returns a copy of the frequency trace of a task,
+// oldest-first.
 func (mo *Monitor) FreqSeries(id machine.TaskID) []FreqSample {
 	mo.mu.Lock()
 	defer mo.mu.Unlock()
-	out := make([]FreqSample, len(mo.freq[id]))
-	copy(out, mo.freq[id])
-	return out
+	r := mo.freq[id]
+	if r == nil {
+		return nil
+	}
+	return r.ordered(make([]FreqSample, 0, len(r.buf)))
 }
 
 func seriesMean(s []FreqSample, from, to float64) float64 {
@@ -159,17 +195,21 @@ func (mo *Monitor) TurbostatReport(ids []machine.TaskID, names []string, windowS
 		fmt.Fprintf(&b, " %10s", truncate(name, 10))
 	}
 	b.WriteString("     pkg_W\n")
-	if len(mo.watts) == 0 || windowS <= 0 {
+	if len(mo.watts.buf) == 0 || windowS <= 0 {
 		return b.String()
 	}
-	end := mo.watts[len(mo.watts)-1].Now
+	last := mo.watts.head - 1
+	if last < 0 {
+		last = len(mo.watts.buf) - 1
+	}
+	end := mo.watts.buf[last].Now
 	for t0 := 0.0; t0 < end; t0 += windowS {
 		t1 := t0 + windowS
 		fmt.Fprintf(&b, "%9.2f", t1)
 		for _, id := range ids {
-			fmt.Fprintf(&b, " %10.2f", seriesMean(mo.freq[id], t0, t1))
+			fmt.Fprintf(&b, " %10.2f", seriesMean(mo.taskBuf(id), t0, t1))
 		}
-		fmt.Fprintf(&b, " %9.1f\n", seriesMean(mo.watts, t0, t1))
+		fmt.Fprintf(&b, " %9.1f\n", seriesMean(mo.watts.buf, t0, t1))
 	}
 	return b.String()
 }

@@ -183,7 +183,10 @@ type RegionLoad struct {
 	Util  float64 // average unit utilization across the region's cores
 }
 
-// Solution is the outcome of a governor solve.
+// Solution is the outcome of a governor solve. FreqGHz aliases a
+// per-governor scratch buffer that the next Solve on the same governor
+// overwrites; callers that retain frequencies across solves must copy
+// them out.
 type Solution struct {
 	FreqGHz      []float64 // per region, in input order
 	PackageWatts float64
@@ -198,6 +201,14 @@ type Governor struct {
 	plat       platform.Platform
 	thermalAvg float64 // exponentially averaged package power
 	powMemo    powTable
+
+	freqs []float64 // Solve scratch; Solution.FreqGHz aliases it
+
+	// Thermal record of the last Solve, consumed by ReplayThermal: the
+	// package power before any near-TDP reduction and whether that
+	// reduction fired.
+	lastPreWatts float64
+	lastFired    bool
 }
 
 // powTable is a fixed-size open-addressed memo of frequency power
@@ -249,7 +260,10 @@ func (g *Governor) packageWatts(regions []RegionLoad, freqs []float64) float64 {
 // Solve assigns a frequency to every region. dt advances the thermal
 // average; pass 0 for a one-shot query.
 func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
-	freqs := make([]float64, len(regions))
+	if cap(g.freqs) < len(regions) {
+		g.freqs = make([]float64, len(regions))
+	}
+	freqs := g.freqs[:len(regions)]
 	for i, r := range regions {
 		f := LicenseCap(g.plat, r.Class)
 		// Lightly-utilized AU regions recover part of the license
@@ -320,12 +334,15 @@ func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
 	}
 
 	watts := g.packageWatts(regions, freqs)
+	g.lastPreWatts = watts
+	fired := false
 	if dt > 0 {
 		// Slow thermal average with ~2 s time constant; sustained
 		// near-TDP operation sheds one extra step everywhere.
 		alpha := dt / (dt + 2.0)
 		g.thermalAvg += alpha * (watts - g.thermalAvg)
 		if g.thermalAvg > 0.97*g.plat.TDPWatts {
+			fired = true
 			for i := range freqs {
 				if regions[i].Class == Idle {
 					continue
@@ -339,5 +356,27 @@ func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
 			throttled = true
 		}
 	}
+	g.lastFired = fired
 	return Solution{FreqGHz: freqs, PackageWatts: watts, Throttled: throttled, Hotspot: hotspot}
+}
+
+// ReplayThermal advances the thermal average exactly as one more Solve
+// over the same region loads would — the pre-reduction package power is
+// load-dependent only, so it equals lastPreWatts — without re-running
+// the solve. It commits only when the near-TDP threshold outcome
+// matches the last Solve's (so the full solve would have produced a
+// bit-identical Solution) and reports whether it committed; on false
+// the governor is left untouched and the caller must run a full Solve.
+func (g *Governor) ReplayThermal(dt float64) bool {
+	if dt <= 0 {
+		return true
+	}
+	alpha := dt / (dt + 2.0)
+	next := g.thermalAvg + alpha*(g.lastPreWatts-g.thermalAvg)
+	fired := next > 0.97*g.plat.TDPWatts
+	if fired != g.lastFired {
+		return false
+	}
+	g.thermalAvg = next
+	return true
 }

@@ -99,6 +99,8 @@ func TestHotspotWindow(t *testing.T) {
 		{Cores: 16, Class: AVXHeavy, Util: 1.6},
 		{Cores: 80, Class: AVXHeavy, Util: 0.63},
 	}, 0)
+	// FreqGHz aliases governor scratch: copy out before the next Solve.
+	inGHz := in.FreqGHz[0]
 	out := g.Solve([]RegionLoad{
 		{Cores: 32, Class: AVXHeavy, Util: 1.6},
 		{Cores: 64, Class: AVXHeavy, Util: 0.63},
@@ -106,8 +108,8 @@ func TestHotspotWindow(t *testing.T) {
 	if !in.Hotspot {
 		t.Fatal("hotspot did not fire for a 16-core hot cluster")
 	}
-	if in.FreqGHz[0] >= out.FreqGHz[0] {
-		t.Fatalf("16-core cluster (%.1f) should run below 32-core (%.1f)", in.FreqGHz[0], out.FreqGHz[0])
+	if inGHz >= out.FreqGHz[0] {
+		t.Fatalf("16-core cluster (%.1f) should run below 32-core (%.1f)", inGHz, out.FreqGHz[0])
 	}
 }
 
@@ -144,12 +146,13 @@ func TestThermalHysteresis(t *testing.T) {
 	p := platform.GenA()
 	g := NewGovernor(p)
 	loads := []RegionLoad{{Cores: 96, Class: AMXHeavy, Util: 0.95}}
-	first := g.Solve(loads, 0.05)
+	// FreqGHz aliases governor scratch: copy out before the next Solve.
+	firstGHz := g.Solve(loads, 0.05).FreqGHz[0]
 	var last Solution
 	for i := 0; i < 200; i++ {
 		last = g.Solve(loads, 0.05)
 	}
-	if last.FreqGHz[0] > first.FreqGHz[0] {
+	if last.FreqGHz[0] > firstGHz {
 		t.Fatal("sustained near-TDP load should not raise frequency")
 	}
 }

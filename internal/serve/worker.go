@@ -31,6 +31,11 @@ type Worker struct {
 	idleTime  float64
 	completed int
 
+	// lastSteady records whether the last Step was a single clean
+	// iteration slice (one loop pass, no job boundary) — the only shape
+	// a quiescent replay may extend (see CanQuiesce).
+	lastSteady bool
+
 	costs   costCache
 	demands demandCache
 }
@@ -198,10 +203,19 @@ func (w *Worker) Demand(env machine.Env) machine.Demand {
 // completing as many iteration boundaries as fit.
 func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 	var u machine.Usage
+	// entered is the job already in flight when the step began. A step
+	// that pulls a new job is never steady: the machine estimated this
+	// step's demand from the pre-pull state, so the next step's
+	// environment will differ even though the job now runs smoothly.
+	entered := w.current
+	steady := false
+	iter := 0
 	left := dt
 	for left > 1e-12 {
+		iter++
 		j := w.ensureJob(now + (dt - left))
 		if j == nil {
+			steady = iter == 1
 			w.idleTime += left
 			u.Util += spinUtil * left
 			break
@@ -233,6 +247,7 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 		left -= ran
 
 		if j.remaining <= 1e-9 {
+			steady = false
 			done := now + (dt - left)
 			if w.phase == llm.Prefill {
 				w.eng.onPrefillDone(j, done)
@@ -242,8 +257,11 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 			u.Work += float64(j.plan.Tokens)
 			w.completed++
 			w.current = nil
+		} else {
+			steady = iter == 1 && j == entered
 		}
 	}
+	w.lastSteady = steady
 	// Convert time-weighted sums to dt-averages.
 	if dt > 0 {
 		u.AMXBusy /= dt
@@ -252,4 +270,57 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 	}
 	u.Breakdown.Normalize()
 	return u
+}
+
+// CanQuiesce implements machine.Quiescer. A worker step is quiescent in
+// two shapes, both requiring that the last Step was a single clean loop
+// pass (lastSteady):
+//
+//   - starved: no job in flight and the engine feed is still empty, so
+//     the next step spins identically;
+//   - mid-iteration: the in-flight job has strictly more than one full
+//     step of work left, so the next step burns the same cost slice
+//     without crossing an iteration boundary.
+//
+// The environment is guaranteed unchanged by the caller (the machine
+// invalidates its capture on any placement/COS/fault mutation), so
+// lastCost — the cached cost the next step would recompute — is still
+// exact.
+func (w *Worker) CanQuiesce(dt float64) bool {
+	if !w.lastSteady {
+		return false
+	}
+	j := w.current
+	if j == nil {
+		if w.phase == llm.Prefill {
+			return w.eng.QueueLen() == 0
+		}
+		return w.eng.DecodeBatch() == 0
+	}
+	ts := w.lastCost.TotalS
+	if ts <= 0 {
+		ts = 1e-9
+	}
+	if j.remaining*ts <= dt {
+		return false // the iteration boundary lands inside the next step
+	}
+	// The post-step remaining must clear the completion epsilon too.
+	return j.remaining-dt/ts > 1e-9
+}
+
+// AdvanceQuiesced implements machine.Quiescer: the exact state
+// mutation Step would apply on the quiescent path, with the same
+// floating-point operations.
+func (w *Worker) AdvanceQuiesced(dt float64) {
+	j := w.current
+	if j == nil {
+		w.idleTime += dt
+		return
+	}
+	ts := w.lastCost.TotalS
+	if ts <= 0 {
+		ts = 1e-9
+	}
+	j.remaining -= dt / ts
+	w.busyTime += dt
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -101,6 +102,7 @@ type Replayer struct {
 	rec    *Recorded
 	pos    int
 	nextID int
+	buf    []*serve.Request // Emit result backing, reused across ticks
 }
 
 // NewReplayer returns a replayer positioned at the trace start.
@@ -108,9 +110,11 @@ func NewReplayer(rec *Recorded) *Replayer {
 	return &Replayer{rec: rec}
 }
 
-// Emit returns the requests arriving in (now, now+dt].
+// Emit returns the requests arriving in (now, now+dt]. The returned
+// slice (not the requests it points to) is reused by the next Emit;
+// callers must consume it before then.
 func (p *Replayer) Emit(now, dt float64) []*serve.Request {
-	var out []*serve.Request
+	out := p.buf[:0]
 	for p.pos < len(p.rec.Requests) && p.rec.Requests[p.pos].Arrival <= now+dt {
 		q := p.rec.Requests[p.pos]
 		p.pos++
@@ -122,7 +126,18 @@ func (p *Replayer) Emit(now, dt float64) []*serve.Request {
 			OutputLen: q.OutputLen,
 		})
 	}
+	p.buf = out
 	return out
+}
+
+// NextEventAt reports the absolute arrival time of the next recorded
+// request, or +Inf when the trace is exhausted — the fast-forward
+// horizon contract (DESIGN.md §9).
+func (p *Replayer) NextEventAt(now float64) float64 {
+	if p.pos >= len(p.rec.Requests) {
+		return math.Inf(1)
+	}
+	return p.rec.Requests[p.pos].Arrival
 }
 
 // Remaining returns how many requests have not been emitted yet.

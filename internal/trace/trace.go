@@ -87,6 +87,7 @@ type Generator struct {
 	nextAt float64
 	nextID int
 	rate   float64
+	buf    []*serve.Request // Emit result backing, reused across ticks
 }
 
 // NewGenerator returns a generator with the scenario's default rate.
@@ -131,9 +132,11 @@ func (g *Generator) SampleLengths() (promptLen, outputLen int) {
 		g.sample(g.scen.MeanOutput, g.scen.SigmaOutput, 2)
 }
 
-// Emit returns the requests arriving in (now, now+dt].
+// Emit returns the requests arriving in (now, now+dt]. The returned
+// slice (not the requests it points to) is reused by the next Emit;
+// callers must consume it before then.
 func (g *Generator) Emit(now, dt float64) []*serve.Request {
-	var out []*serve.Request
+	out := g.buf[:0]
 	for g.nextAt <= now+dt {
 		g.nextID++
 		out = append(out, &serve.Request{
@@ -144,5 +147,11 @@ func (g *Generator) Emit(now, dt float64) []*serve.Request {
 		})
 		g.scheduleNext(g.nextAt)
 	}
+	g.buf = out
 	return out
 }
+
+// NextEventAt reports the absolute arrival time of the next request —
+// the fast-forward horizon contract (DESIGN.md §9): no Emit call with
+// now+dt strictly below this time produces a request.
+func (g *Generator) NextEventAt(now float64) float64 { return g.nextAt }

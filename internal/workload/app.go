@@ -80,6 +80,11 @@ type App struct {
 
 	intensity float64 // chaos surge multiplier (1 = nominal)
 	flipped   bool
+
+	// dirty marks an externally-injected behaviour change (SetIntensity,
+	// FlipPhase) that the next full Step has not yet observed; it blocks
+	// quiescent replay until then (see CanQuiesce).
+	dirty bool
 }
 
 // New instantiates a profile with its own random stream.
@@ -99,6 +104,7 @@ func (a *App) Profile() Profile { return a.prof }
 func (a *App) SetIntensity(mult float64) {
 	if mult > 0 {
 		a.intensity = mult
+		a.dirty = true
 	}
 }
 
@@ -111,6 +117,7 @@ func (a *App) Intensity() float64 { return a.intensity }
 // invalidates the profiled bucket the controller is operating — exactly
 // the post-profiling drift Section VII-D names as AUM's limitation.
 func (a *App) FlipPhase() {
+	a.dirty = true
 	if a.flipped {
 		a.prof, a.flipped = a.orig, false
 		return
@@ -161,6 +168,7 @@ func (a *App) Demand(env machine.Env) machine.Demand {
 
 // Step implements machine.Workload.
 func (a *App) Step(env machine.Env, now, dt float64) machine.Usage {
+	a.dirty = false
 	// Advance burst modulation as a bounded random walk.
 	if a.prof.BurstAmp > 0 {
 		period := a.prof.BurstPeriod
@@ -209,6 +217,18 @@ func (a *App) Step(env machine.Env, now, dt float64) machine.Usage {
 		Breakdown: bd,
 	}
 }
+
+// CanQuiesce implements machine.Quiescer. A non-bursty app's Step is a
+// pure function of the (unchanged) environment, so every step repeats
+// exactly unless a chaos injection just changed its behaviour (dirty).
+// Bursty profiles advance a random walk every step and never quiesce.
+func (a *App) CanQuiesce(dt float64) bool {
+	return a.prof.BurstAmp <= 0 && !a.dirty
+}
+
+// AdvanceQuiesced implements machine.Quiescer; a quiescent app step
+// mutates no internal state.
+func (a *App) AdvanceQuiesced(dt float64) {}
 
 func clamp01(v float64) float64 {
 	if v < 0 {

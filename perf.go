@@ -1,0 +1,97 @@
+package aum
+
+// Fast-forward control and in-process hot-path measurement. The
+// toggle re-exports the quiescence replay layer (DESIGN.md §9); the
+// measurement lets cmd/aumbench record the simulator's per-step cost
+// and allocation count in BENCH_results.json without depending on
+// `go test -bench`.
+
+import (
+	"runtime"
+	"time"
+
+	"aum/internal/machine"
+	"aum/internal/platform"
+	"aum/internal/workload"
+)
+
+// SetFastForward toggles quiescence-aware fast-forward (DESIGN.md §9)
+// process-wide. It is enabled by default; results are byte-identical
+// either way — the toggle exists for debugging and for measuring the
+// layer's speedup.
+func SetFastForward(on bool) { machine.SetFastForward(on) }
+
+// FastForward reports whether quiescence-aware fast-forward is
+// enabled.
+func FastForward() bool { return machine.FastForward() }
+
+// HotPathBench is one in-process microbenchmark result, the schema
+// recorded under "hot_paths" in BENCH_results.json.
+type HotPathBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measureLoop times iters calls of f after warm warmup calls,
+// reporting mean wall time and heap allocations per call.
+func measureLoop(name string, warm, iters int, f func()) HotPathBench {
+	for i := 0; i < warm; i++ {
+		f()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return HotPathBench{
+		Name:        name,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}
+}
+
+// benchMachine builds the three-task co-location BenchmarkMachineStep
+// uses: the inner loop of every experiment.
+func benchMachine() *machine.Machine {
+	plat := platform.GenA()
+	m := machine.New(plat)
+	profs := []workload.Profile{workload.SPECjbb(), workload.OLAP(), workload.Compute()}
+	for i, p := range profs {
+		lo := i * 32
+		if _, err := m.AddTask(workload.New(p, uint64(i+1)), machine.Placement{
+			CoreLo: lo, CoreHi: lo + 31, SMTSlot: 0, COS: i,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// MeasureHotPaths benchmarks the simulator hot paths in-process —
+// the same loops bench_test.go's microbenchmarks time — so the
+// timing report can pin the per-step cost and its allocation count
+// (the allocation-budget tests hold machine_step at exactly zero).
+func MeasureHotPaths() []HotPathBench {
+	full := benchMachine()
+	step := measureLoop("machine_step", 2_000, 50_000, func() { full.Step(1e-3) })
+
+	// The replay row uses a burst-free workload so StepN actually hits
+	// the quiescent path (bursty profiles refuse to quiesce).
+	plat := platform.GenA()
+	ff := machine.New(plat)
+	if _, err := ff.AddTask(workload.New(workload.Compute(), 7), machine.Placement{
+		CoreLo: 0, CoreHi: plat.Cores - 1, SMTSlot: 0,
+	}); err != nil {
+		panic(err)
+	}
+	replay := measureLoop("machine_stepn_replay", 200, 5_000, func() { ff.StepN(1e-3, 10) })
+	replay.NsPerOp /= 10
+	replay.AllocsPerOp /= 10
+
+	return []HotPathBench{step, replay}
+}
