@@ -148,6 +148,18 @@ type (
 	LinkConfig = cluster.LinkConfig
 	// ClusterOption configures NewCluster.
 	ClusterOption = cluster.Option
+	// FaultConfig parameterizes fleet fault tolerance: the fault
+	// schedule plus detection, retry/backoff, recovery, and circuit
+	// breaker knobs (set FleetConfig.Faults).
+	FaultConfig = cluster.FaultConfig
+	// HealthEvent is one node health transition in a FleetResult.
+	HealthEvent = cluster.HealthEvent
+	// FleetSchedule is a deterministic fleet-level fault plan.
+	FleetSchedule = chaos.FleetSchedule
+	// FleetEvent is one scheduled fleet fault in a FleetSchedule.
+	FleetEvent = chaos.FleetEvent
+	// FleetKind is the fleet fault class of a FleetEvent.
+	FleetKind = chaos.FleetKind
 )
 
 // Balance policies and machine roles, re-exported for FleetConfig.
@@ -159,6 +171,14 @@ const (
 	RoleMixed   = cluster.RoleMixed
 	RolePrefill = cluster.RolePrefill
 	RoleDecode  = cluster.RoleDecode
+)
+
+// Fleet fault classes, re-exported for FleetSchedule.
+const (
+	MachineCrash = chaos.MachineCrash
+	LinkDown     = chaos.LinkDown
+	LinkBrownout = chaos.LinkBrownout
+	Straggler    = chaos.Straggler
 )
 
 // Platforms returns the three evaluated platforms (Table I).
@@ -278,6 +298,12 @@ var (
 	WithTelemetry = cluster.WithTelemetry
 	// WithProgress registers a per-barrier callback.
 	WithProgress = cluster.WithProgress
+	// WithFaults enables fleet fault tolerance under the given fault
+	// schedule and retry policy.
+	WithFaults = cluster.WithFaults
+	// WithTrace attaches a ChromeTrace that records node outages,
+	// failover, and recovery spans.
+	WithTrace = cluster.WithTrace
 )
 
 // NewTelemetryRegistry returns an empty metric/event registry to wire
@@ -306,6 +332,13 @@ type RecordedTrace = trace.Recorded
 // the lowest cores go offline for outageS seconds.
 func PhaseFlipCoreLoss(at float64, cores int, outageS float64) ChaosSchedule {
 	return chaos.PhaseFlipCoreLoss(at, cores, outageS)
+}
+
+// CrashStorm returns a seeded, deterministic fleet crash schedule:
+// crashes machine outages of downS seconds each, spread over the middle
+// two-thirds of a horizonS-second run (set FaultConfig.Schedule).
+func CrashStorm(machines, crashes int, horizonS, downS float64, seed uint64) FleetSchedule {
+	return chaos.CrashStorm(machines, crashes, horizonS, downS, seed)
 }
 
 // ChaosStorm returns a denser mixed fault schedule for soak testing.

@@ -13,7 +13,7 @@ import (
 // the chosen balance policy, with a QPS surge in the middle third of
 // the horizon. Everything it prints comes from the aum_fleet_* series
 // in the telemetry registry, so the console and /metrics agree.
-func runFleetDaemon(policyName string, duration, report float64, seed uint64, httpAddr string) {
+func runFleetDaemon(policyName string, duration, report float64, seed uint64, httpAddr string, degradedBelow float64) {
 	policy, err := aum.ParseBalancePolicy(policyName)
 	if err != nil {
 		log.Fatal(err)
@@ -29,7 +29,7 @@ func runFleetDaemon(policyName string, duration, report float64, seed uint64, ht
 			log.Fatal(err)
 		}
 		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg)
+		go serveTelemetry(ln, reg, degradedBelow)
 	}
 
 	nextAt := 0.0

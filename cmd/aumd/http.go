@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -15,12 +16,12 @@ import (
 //
 //	/metrics      Prometheus text exposition (0.0.4) of a fresh snapshot
 //	/events       the structured event ring as JSON, oldest first
-//	/healthz      liveness probe
+//	/healthz      liveness + fleet availability probe
 //	/debug/pprof  Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Every request snapshots the registry, so responses are internally
 // consistent even while the simulation is mutating metrics.
-func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry) {
+func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, degradedBelow float64) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -47,11 +48,28 @@ func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry) {
 			log.Printf("aumd: /events: %v", err)
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", healthzHandler(reg, degradedBelow))
 	if err := http.Serve(ln, mux); err != nil {
 		log.Printf("aumd: http server: %v", err)
+	}
+}
+
+// healthzHandler answers the liveness probe. A plain single-machine
+// run always reports ok; a fleet run (the aum_fleet_availability
+// gauge is present) reports "degraded" with 503 once availability
+// drops below the threshold, so an orchestrator's health check sees
+// fleet-level outages, not just process liveness. A threshold <= 0
+// disables the degraded state.
+func healthzHandler(reg *aum.TelemetryRegistry, degradedBelow float64) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if degradedBelow > 0 {
+			if avail, ok := reg.Snapshot().GaugeValue("aum_fleet_availability"); ok && avail < degradedBelow {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "degraded: fleet availability %.4f below %.4f\n", avail, degradedBelow)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
 	}
 }

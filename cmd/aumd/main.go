@@ -117,13 +117,14 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "root random seed")
 		httpAddr = flag.String("http", "", "serve /metrics, /events, /healthz on this address (e.g. 127.0.0.1:9090)")
 		watchdog = flag.Bool("watchdog", false, "enable the SLO watchdog safe mode")
+		degraded = flag.Float64("degraded-below", 0.95, "/healthz reports degraded (503) when fleet availability drops below this (<=0 disables)")
 		fleet    = flag.Bool("fleet", false, "run a heterogeneous fleet instead of one machine (no AUV model needed)")
 		policy   = flag.String("policy", "auv-aware", "fleet balance policy: round-robin | least-queued | auv-aware")
 	)
 	flag.Parse()
 
 	if *fleet {
-		runFleetDaemon(*policy, *duration, *report, *seed, *httpAddr)
+		runFleetDaemon(*policy, *duration, *report, *seed, *httpAddr, *degraded)
 		return
 	}
 
@@ -161,7 +162,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg)
+		go serveTelemetry(ln, reg, *degraded)
 	}
 
 	inner, err := aum.NewAUM(auv, aum.ControllerOptions{Watchdog: *watchdog, Telemetry: reg})

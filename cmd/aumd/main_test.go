@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -74,6 +76,43 @@ func TestWatchdogStatus(t *testing.T) {
 	reg.Counter("aum_ctrl_watchdog_trips_total").Inc()
 	if got := watchdogStatus(reg.Snapshot()); got != "SAFE(hold=40,trips=2)" {
 		t.Errorf("active: wd=%s, want SAFE(hold=40,trips=2)", got)
+	}
+}
+
+// TestHealthzDegraded drives the /healthz handler through the fleet
+// availability states: ok without the gauge (single-machine run), ok
+// at or above the threshold, degraded (503) below it, and always ok
+// when the threshold is disabled.
+func TestHealthzDegraded(t *testing.T) {
+	probe := func(reg *aum.TelemetryRegistry, below float64) (int, string) {
+		rec := httptest.NewRecorder()
+		healthzHandler(reg, below)(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	reg := aum.NewTelemetryRegistry()
+	if code, body := probe(reg, 0.95); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("no gauge: %d %q, want 200 ok", code, body)
+	}
+
+	reg.Gauge("aum_fleet_availability").Set(0.97)
+	if code, _ := probe(reg, 0.95); code != http.StatusOK {
+		t.Errorf("availability above threshold: %d, want 200", code)
+	}
+
+	reg.Gauge("aum_fleet_availability").Set(0.80)
+	code, body := probe(reg, 0.95)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("availability below threshold: %d, want 503", code)
+	}
+	for _, want := range []string{"degraded", "0.8000", "0.9500"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("degraded body missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, _ := probe(reg, 0); code != http.StatusOK {
+		t.Errorf("threshold disabled: %d, want 200", code)
 	}
 }
 

@@ -32,6 +32,35 @@ type report struct {
 		ID    string  `json:"id"`
 		WallS float64 `json:"wall_s"`
 	} `json:"experiments"`
+	HotPaths []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"hot_paths"`
+}
+
+// entry is one comparable (id, value) pair from a report — an
+// experiment wall clock in seconds or a hot-path cost in ns/op.
+type entry struct {
+	id  string
+	val float64
+}
+
+func (r report) experimentEntries() []entry {
+	out := make([]entry, 0, len(r.Experiments))
+	for _, e := range r.Experiments {
+		out = append(out, entry{id: e.ID, val: e.WallS})
+	}
+	return out
+}
+
+// hotPathEntries prefixes hot-path rows with "hot:" so the two id
+// namespaces cannot collide.
+func (r report) hotPathEntries() []entry {
+	out := make([]entry, 0, len(r.HotPaths))
+	for _, h := range r.HotPaths {
+		out = append(out, entry{id: "hot:" + h.Name, val: h.NsPerOp})
+	}
+	return out
 }
 
 func load(path string) (report, error) {
@@ -61,24 +90,35 @@ type row struct {
 // signal. Rows below the floor still print, just unmarked.
 const flagFloorS = 0.05
 
-// compare joins the two reports in the new report's experiment order,
-// appending experiments that only exist in the old one.
+// compare joins the two reports' experiment rows in the new report's
+// order, appending experiments that only exist in the old one.
 func compare(oldR, newR report, threshold float64) (rows []row, regressions int) {
-	oldW := make(map[string]float64, len(oldR.Experiments))
-	for _, e := range oldR.Experiments {
-		oldW[e.ID] = e.WallS
+	return compareEntries(oldR.experimentEntries(), newR.experimentEntries(), threshold, flagFloorS)
+}
+
+// compareHotPaths does the same join over the hot_paths table, in
+// ns/op. In-process microbenchmark loops are far less noisy than
+// experiment wall clocks, so every row is flaggable (floor 0).
+func compareHotPaths(oldR, newR report, threshold float64) (rows []row, regressions int) {
+	return compareEntries(oldR.hotPathEntries(), newR.hotPathEntries(), threshold, 0)
+}
+
+func compareEntries(oldE, newE []entry, threshold, floor float64) (rows []row, regressions int) {
+	oldW := make(map[string]float64, len(oldE))
+	for _, e := range oldE {
+		oldW[e.id] = e.val
 	}
-	seen := make(map[string]bool, len(newR.Experiments))
-	for _, e := range newR.Experiments {
-		seen[e.ID] = true
-		r := row{id: e.ID, newS: e.WallS}
-		if w, ok := oldW[e.ID]; ok {
+	seen := make(map[string]bool, len(newE))
+	for _, e := range newE {
+		seen[e.id] = true
+		r := row{id: e.id, newS: e.val}
+		if w, ok := oldW[e.id]; ok {
 			r.oldS = w
 			if w > 0 {
 				r.comparable = true
-				r.delta = (e.WallS - w) / w
+				r.delta = (e.val - w) / w
 				switch {
-				case w < flagFloorS && e.WallS < flagFloorS:
+				case w < floor && e.val < floor:
 					// too fast to distinguish signal from timer noise
 				case r.delta > threshold:
 					r.status = "REGRESSION"
@@ -92,9 +132,9 @@ func compare(oldR, newR report, threshold float64) (rows []row, regressions int)
 		}
 		rows = append(rows, r)
 	}
-	for _, e := range oldR.Experiments {
-		if !seen[e.ID] {
-			rows = append(rows, row{id: e.ID, oldS: e.WallS, status: "removed"})
+	for _, e := range oldE {
+		if !seen[e.id] {
+			rows = append(rows, row{id: e.id, oldS: e.val, status: "removed"})
 		}
 	}
 	return rows, regressions
@@ -121,34 +161,46 @@ func main() {
 		os.Exit(2)
 	}
 	rows, regressions := compare(oldR, newR, *threshold)
-	fmt.Printf("%-12s %10s %10s %8s\n", "experiment", "old(s)", "new(s)", "delta")
-	for _, r := range rows {
-		switch r.status {
-		case "new":
-			fmt.Printf("%-12s %10s %10.3f %8s  (new)\n", r.id, "-", r.newS, "-")
-		case "removed":
-			fmt.Printf("%-12s %10.3f %10s %8s  (removed)\n", r.id, r.oldS, "-", "-")
-		default:
-			mark := ""
-			if r.status != "" {
-				mark = "  " + r.status
-			}
-			if r.comparable {
-				fmt.Printf("%-12s %10.3f %10.3f %+7.1f%%%s\n", r.id, r.oldS, r.newS, 100*r.delta, mark)
-			} else {
-				fmt.Printf("%-12s %10.3f %10.3f %8s%s\n", r.id, r.oldS, r.newS, "-", mark)
-			}
-		}
-	}
+	printRows("experiment", "old(s)", "new(s)", rows, "%10.3f")
 	if oldR.TotalS > 0 && newR.TotalS > 0 {
-		fmt.Printf("%-12s %10.3f %10.3f %+7.1f%%\n", "total", oldR.TotalS, newR.TotalS,
+		fmt.Printf("%-24s %10.3f %10.3f %+7.1f%%\n", "total", oldR.TotalS, newR.TotalS,
 			100*(newR.TotalS-oldR.TotalS)/oldR.TotalS)
+	}
+	if len(oldR.HotPaths) > 0 || len(newR.HotPaths) > 0 {
+		hotRows, hotRegressions := compareHotPaths(oldR, newR, *threshold)
+		regressions += hotRegressions
+		fmt.Println()
+		printRows("hot path", "old(ns)", "new(ns)", hotRows, "%10.1f")
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d experiment(s) regressed more than %.0f%%\n",
 			regressions, 100**threshold)
 		if *strict {
 			os.Exit(1)
+		}
+	}
+}
+
+// printRows renders one comparison table; valFmt formats the value
+// columns (seconds for experiments, ns/op for hot paths).
+func printRows(kind, oldHdr, newHdr string, rows []row, valFmt string) {
+	fmt.Printf("%-24s %10s %10s %8s\n", kind, oldHdr, newHdr, "delta")
+	for _, r := range rows {
+		switch r.status {
+		case "new":
+			fmt.Printf("%-24s %10s "+valFmt+" %8s  (new)\n", r.id, "-", r.newS, "-")
+		case "removed":
+			fmt.Printf("%-24s "+valFmt+" %10s %8s  (removed)\n", r.id, r.oldS, "-", "-")
+		default:
+			mark := ""
+			if r.status != "" {
+				mark = "  " + r.status
+			}
+			if r.comparable {
+				fmt.Printf("%-24s "+valFmt+" "+valFmt+" %+7.1f%%%s\n", r.id, r.oldS, r.newS, 100*r.delta, mark)
+			} else {
+				fmt.Printf("%-24s "+valFmt+" "+valFmt+" %8s%s\n", r.id, r.oldS, r.newS, "-", mark)
+			}
 		}
 	}
 }

@@ -1,0 +1,207 @@
+// Fleet-level fault schedules (DESIGN.md §10). Machine-level faults
+// (chaos.Schedule) perturb one simulated processor from the inside;
+// fleet faults kill, partition, and slow whole machines from the
+// outside, the failure classes a production serving fleet must absorb:
+// a node panics and reboots, a KV-transfer link partitions or browns
+// out, a machine silently runs slow. The cluster layer applies fleet
+// events at tick barriers — the single-threaded merge points — so a
+// faulted run stays byte-identical across worker widths, and the
+// injector exports a NextEventAt horizon so quiescence fast-forward
+// (DESIGN.md §9) never skips past an injection.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aum/internal/rng"
+)
+
+// FleetKind enumerates the fleet-level fault classes.
+type FleetKind int
+
+const (
+	// MachineCrash kills a machine: in-flight requests and KV caches on
+	// it are lost, the fleet detects the loss after a confirmation
+	// delay, and the machine rejoins after Duration (0 = never).
+	MachineCrash FleetKind = iota
+	// LinkDown partitions a machine's KV egress: prefilled requests
+	// cannot ship their caches until the partition heals.
+	LinkDown
+	// LinkBrownout derates a machine's KV egress bandwidth to
+	// Factor × nominal — congestion, not a hard partition.
+	LinkBrownout
+	// Straggler derates a machine's frequency to Factor × nominal: the
+	// machine keeps serving, slowly — the gray failure mode health
+	// checks are worst at catching.
+	Straggler
+)
+
+var fleetKindNames = [...]string{"MachineCrash", "LinkDown", "LinkBrownout", "Straggler"}
+
+func (k FleetKind) String() string {
+	if k < 0 || int(k) >= len(fleetKindNames) {
+		return fmt.Sprintf("FleetKind(%d)", int(k))
+	}
+	return fleetKindNames[k]
+}
+
+// FleetEvent is one scheduled fleet fault.
+type FleetEvent struct {
+	// At is the simulation time the fault strikes. The cluster applies
+	// it at the first tick barrier at or after At.
+	At float64
+	// Kind selects the fault class.
+	Kind FleetKind
+	// Machine is the index of the faulted machine in the fleet's
+	// machine list.
+	Machine int
+	// Duration, when positive, reverts the fault at At+Duration: a
+	// crashed machine begins recovery, a partitioned or browned-out
+	// link heals, a straggler returns to nominal speed. 0 makes the
+	// fault permanent for the rest of the run.
+	Duration float64
+	// Factor parameterizes LinkBrownout and Straggler: the remaining
+	// fraction of nominal bandwidth / frequency, in (0, 1).
+	Factor float64
+}
+
+// FleetSchedule is a deterministic fleet fault plan.
+type FleetSchedule struct {
+	Events []FleetEvent
+	// Seed derives any randomness downstream consumers need (retry
+	// jitter); the schedule itself is fully explicit.
+	Seed uint64
+}
+
+// Validate checks the schedule against a fleet of n machines.
+func (s *FleetSchedule) Validate(n int) error {
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("chaos: fleet event %d (%s): negative time %v (crash-before-start schedules are invalid)", i, ev.Kind, ev.At)
+		}
+		if ev.Duration < 0 {
+			return fmt.Errorf("chaos: fleet event %d (%s): negative duration %v", i, ev.Kind, ev.Duration)
+		}
+		if ev.Machine < 0 || ev.Machine >= n {
+			return fmt.Errorf("chaos: fleet event %d (%s): machine %d outside fleet [0, %d)", i, ev.Kind, ev.Machine, n)
+		}
+		switch ev.Kind {
+		case MachineCrash, LinkDown:
+			// No parameters beyond the target and duration.
+		case LinkBrownout, Straggler:
+			if ev.Factor <= 0 || ev.Factor >= 1 {
+				return fmt.Errorf("chaos: fleet event %d (%s): factor %v outside (0, 1)", i, ev.Kind, ev.Factor)
+			}
+		default:
+			return fmt.Errorf("chaos: fleet event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// FleetFired is one injector emission: an event taking effect or — with
+// Revert set — expiring.
+type FleetFired struct {
+	Event  FleetEvent
+	Revert bool
+}
+
+// FleetInjector walks a fleet schedule. The cluster drives it at every
+// tick barrier from single-threaded merge code; the injector itself
+// does not touch machines — it only tells the caller, in a
+// deterministic order, which faults fire when.
+type FleetInjector struct {
+	events  []FleetEvent // sorted by (At, Machine, Kind)
+	pos     int
+	reverts []FleetEvent // pending expiries, At = expiry time
+	fired   []FleetFired // reused emission buffer
+}
+
+// NewFleetInjector validates the schedule for a fleet of n machines
+// and returns an injector over a sorted copy of its events.
+func NewFleetInjector(s FleetSchedule, n int) (*FleetInjector, error) {
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	events := append([]FleetEvent(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		if events[i].Machine != events[j].Machine {
+			return events[i].Machine < events[j].Machine
+		}
+		return events[i].Kind < events[j].Kind
+	})
+	return &FleetInjector{events: events}, nil
+}
+
+// NextEventAt reports the absolute time of the next injection or
+// expiry, or +Inf when the schedule is exhausted — the fast-forward
+// horizon contract (DESIGN.md §9): Fire returns nothing for any now
+// strictly below this time.
+func (in *FleetInjector) NextEventAt() float64 {
+	next := math.Inf(1)
+	if in.pos < len(in.events) {
+		next = in.events[in.pos].At
+	}
+	if len(in.reverts) > 0 && in.reverts[0].At < next {
+		next = in.reverts[0].At
+	}
+	return next
+}
+
+// Done reports whether every event and expiry has fired.
+func (in *FleetInjector) Done() bool {
+	return in.pos >= len(in.events) && len(in.reverts) == 0
+}
+
+// Fire returns every injection and expiry due at or before now, in
+// deterministic order (expiries first, then injections, each in
+// schedule order). The returned slice is valid until the next Fire.
+func (in *FleetInjector) Fire(now float64) []FleetFired {
+	in.fired = in.fired[:0]
+	for len(in.reverts) > 0 && in.reverts[0].At <= now {
+		in.fired = append(in.fired, FleetFired{Event: in.reverts[0], Revert: true})
+		in.reverts = in.reverts[1:]
+	}
+	for in.pos < len(in.events) && in.events[in.pos].At <= now {
+		ev := in.events[in.pos]
+		in.pos++
+		in.fired = append(in.fired, FleetFired{Event: ev})
+		if ev.Duration > 0 {
+			rv := ev
+			rv.At = ev.At + ev.Duration
+			in.reverts = append(in.reverts, rv)
+			sort.SliceStable(in.reverts, func(i, j int) bool { return in.reverts[i].At < in.reverts[j].At })
+		}
+	}
+	return in.fired
+}
+
+// CrashStorm returns a seeded, deterministic fleet crash schedule:
+// crashes machine outages of downS seconds each, spread over the
+// middle two thirds of a horizonS-second run across a fleet of
+// machines. Targets and times are drawn from the seed, so the same
+// arguments always produce the same storm — the crash-rate sweep the
+// fleetchaos experiment tables.
+func CrashStorm(machines, crashes int, horizonS, downS float64, seed uint64) FleetSchedule {
+	if machines < 1 || crashes < 1 || horizonS <= 0 {
+		return FleetSchedule{Seed: seed}
+	}
+	st := rng.Derive(seed, 0xf1ee7, uint64(machines), uint64(crashes))
+	lo, hi := horizonS/6, horizonS*5/6
+	s := FleetSchedule{Seed: seed}
+	for i := 0; i < crashes; i++ {
+		at := lo + st.Float64()*(hi-lo)
+		s.Events = append(s.Events, FleetEvent{
+			At:       at,
+			Kind:     MachineCrash,
+			Machine:  st.Intn(machines),
+			Duration: downS,
+		})
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestFleetScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   FleetEvent
+		ok   bool
+	}{
+		{"valid crash", FleetEvent{At: 1, Kind: MachineCrash, Machine: 0, Duration: 2}, true},
+		{"valid permanent crash", FleetEvent{At: 1, Kind: MachineCrash, Machine: 1}, true},
+		{"valid brownout", FleetEvent{At: 1, Kind: LinkBrownout, Machine: 0, Factor: 0.5}, true},
+		{"negative time", FleetEvent{At: -1, Kind: MachineCrash}, false},
+		{"negative duration", FleetEvent{At: 1, Kind: LinkDown, Duration: -1}, false},
+		{"machine out of range", FleetEvent{At: 1, Kind: MachineCrash, Machine: 2}, false},
+		{"negative machine", FleetEvent{At: 1, Kind: MachineCrash, Machine: -1}, false},
+		{"brownout without factor", FleetEvent{At: 1, Kind: LinkBrownout}, false},
+		{"straggler factor 1", FleetEvent{At: 1, Kind: Straggler, Factor: 1}, false},
+		{"unknown kind", FleetEvent{At: 1, Kind: FleetKind(99)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := FleetSchedule{Events: []FleetEvent{tc.ev}}
+			err := s.Validate(2)
+			if tc.ok && err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestFleetInjectorOrderAndHorizon(t *testing.T) {
+	s := FleetSchedule{Events: []FleetEvent{
+		// Intentionally unsorted; the injector must fire them in (At,
+		// Machine, Kind) order with expiries ahead of injections.
+		{At: 5, Kind: Straggler, Machine: 1, Duration: 2, Factor: 0.5},
+		{At: 2, Kind: MachineCrash, Machine: 0, Duration: 3},
+		{At: 2, Kind: LinkDown, Machine: 0, Duration: 1},
+	}}
+	in, err := NewFleetInjector(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.NextEventAt(); got != 2 {
+		t.Fatalf("NextEventAt = %v, want 2", got)
+	}
+	// The horizon contract: nothing fires strictly before NextEventAt.
+	if fired := in.Fire(1.99); len(fired) != 0 {
+		t.Fatalf("fired early: %+v", fired)
+	}
+	fired := append([]FleetFired(nil), in.Fire(2)...)
+	if len(fired) != 2 || fired[0].Revert || fired[1].Revert {
+		t.Fatalf("at t=2: %+v", fired)
+	}
+	if fired[0].Event.Kind != MachineCrash || fired[1].Event.Kind != LinkDown {
+		t.Fatalf("same-barrier order not (At, Machine, Kind): %+v", fired)
+	}
+	// Both faults scheduled expiries: link heals at 3, crash at 5.
+	if got := in.NextEventAt(); got != 3 {
+		t.Fatalf("NextEventAt after injection = %v, want 3 (link heal)", got)
+	}
+	fired = in.Fire(3)
+	if len(fired) != 1 || !fired[0].Revert || fired[0].Event.Kind != LinkDown {
+		t.Fatalf("at t=3: %+v", fired)
+	}
+	// t=5: the crash expiry and the straggler injection — expiry first.
+	fired = in.Fire(5)
+	if len(fired) != 2 || !fired[0].Revert || fired[0].Event.Kind != MachineCrash ||
+		fired[1].Revert || fired[1].Event.Kind != Straggler {
+		t.Fatalf("at t=5: %+v", fired)
+	}
+	if in.Done() {
+		t.Fatal("straggler expiry still pending")
+	}
+	if fired = in.Fire(7); len(fired) != 1 || !fired[0].Revert {
+		t.Fatalf("at t=7: %+v", fired)
+	}
+	if !in.Done() || !math.IsInf(in.NextEventAt(), 1) {
+		t.Fatalf("injector not exhausted: done=%v next=%v", in.Done(), in.NextEventAt())
+	}
+}
+
+func TestFleetInjectorPermanentFault(t *testing.T) {
+	s := FleetSchedule{Events: []FleetEvent{{At: 1, Kind: MachineCrash, Machine: 0}}}
+	in, err := NewFleetInjector(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired := in.Fire(1); len(fired) != 1 || fired[0].Revert {
+		t.Fatalf("at t=1: %+v", fired)
+	}
+	// Duration 0 schedules no expiry: the fault holds forever.
+	if !in.Done() || !math.IsInf(in.NextEventAt(), 1) {
+		t.Fatalf("permanent fault left residue: done=%v next=%v", in.Done(), in.NextEventAt())
+	}
+}
+
+func TestCrashStormDeterministicAndBounded(t *testing.T) {
+	a := CrashStorm(4, 8, 30, 2, 99)
+	b := CrashStorm(4, 8, 30, 2, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same arguments produced different storms")
+	}
+	if len(a.Events) != 8 {
+		t.Fatalf("events = %d, want 8", len(a.Events))
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatalf("storm invalid for its own fleet: %v", err)
+	}
+	for i, ev := range a.Events {
+		if ev.Kind != MachineCrash || ev.Duration != 2 {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if ev.At < 5 || ev.At > 25 {
+			t.Fatalf("event %d at %v outside the middle two-thirds of 30 s", i, ev.At)
+		}
+	}
+	if c := CrashStorm(4, 8, 30, 2, 100); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical storms")
+	}
+	if z := CrashStorm(0, 8, 30, 2, 99); len(z.Events) != 0 {
+		t.Fatalf("degenerate fleet produced events: %+v", z)
+	}
+}

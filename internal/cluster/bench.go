@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"aum/internal/colo"
+	"aum/internal/llm"
+	"aum/internal/serve"
+)
+
+// FailoverBenchLoop returns a closure that exercises the fleet
+// failover hot path — retry scheduling with capped jittered backoff,
+// the barrier queue-state sample, and due-retry dispatch through the
+// balancer — on a synthetic two-node fleet. MeasureHotPaths (perf.go)
+// times it for the hot_paths table of BENCH_results.json; the loop is
+// allocation-light by construction so regressions there are visible.
+func FailoverBenchLoop() func() {
+	cfg := Config{
+		Machines: make([]MachineSpec, 2),
+		Faults:   &FaultConfig{},
+		Seed:     1,
+	}
+	f, err := cfg.Faults.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = &f
+	fe, err := newFaultEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	model := llm.Llama2_7B()
+	nodes := make([]*node, 2)
+	for i := range nodes {
+		nodes[i] = &node{
+			name:  "bench",
+			state: stateActive,
+			env:   &colo.Env{Engine: serve.NewEngine(serve.Config{Model: model})},
+		}
+	}
+	bal := newBalancer(RoundRobin, len(nodes))
+	req := &serve.Request{ID: 1, PromptLen: 512, OutputLen: 128}
+	return func() {
+		req.Done = false
+		fe.attempts[req] = 0
+		fe.scheduleRetry(0, req, 0)
+		bal.sample(nodes)
+		fe.dispatchDue(1, nodes, bal)
+		nodes[0].inbox = nodes[0].inbox[:0]
+		nodes[1].inbox = nodes[1].inbox[:0]
+	}
+}

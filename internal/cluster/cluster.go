@@ -123,6 +123,13 @@ type Config struct {
 	Autoscale *AutoscaleConfig
 	// Link prices KV-cache transfers between prefill and decode tiers.
 	Link LinkConfig
+	// Faults, when set, injects fleet-level failures (machine crashes,
+	// link partitions/brownouts, stragglers) and enables the failover
+	// machinery: health states, retry with backoff, KV re-handoff.
+	Faults *FaultConfig
+	// Trace, when set, receives failover spans (outages, redispatches)
+	// in Chrome trace_event form.
+	Trace *telemetry.Trace
 	// Workers caps how many machines step concurrently within an epoch
 	// (0 = GOMAXPROCS). The width never changes results (DESIGN.md §8).
 	Workers int
@@ -172,6 +179,12 @@ func WithAutoscale(a AutoscaleConfig) Option { return func(c *Config) { c.Autosc
 
 // WithLink sets the KV-transfer link model.
 func WithLink(l LinkConfig) Option { return func(c *Config) { c.Link = l } }
+
+// WithFaults enables fleet-level fault injection and failover.
+func WithFaults(f FaultConfig) Option { return func(c *Config) { c.Faults = &f } }
+
+// WithTrace attaches a Chrome trace buffer for failover spans.
+func WithTrace(tr *telemetry.Trace) Option { return func(c *Config) { c.Trace = tr } }
 
 // WithSeed sets the root random seed.
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
@@ -331,6 +344,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Link, err = c.Link.withDefaults(); err != nil {
 		return c, err
 	}
+	if c.Faults != nil {
+		f, err := c.Faults.withDefaults()
+		if err != nil {
+			return c, err
+		}
+		if err := f.Schedule.Validate(len(c.Machines)); err != nil {
+			return c, vcfg.Bad(pkg, "Config.Faults.Schedule", err, "a fleet fault schedule valid for this machine list")
+		}
+		c.Faults = &f
+	}
 	if c.Autoscale != nil {
 		a, err := c.Autoscale.withDefaults()
 		if err != nil {
@@ -382,6 +405,11 @@ const (
 	stateWarming                   // powered, loading the model, not routable
 	stateActive                    // serving
 	stateDraining                  // finishing in-flight work, not routable
+
+	// Health states (DESIGN.md §10), reachable only under Config.Faults.
+	stateSuspect    // crashed; the fleet has not confirmed the loss yet
+	stateDown       // loss confirmed; in-flight work harvested
+	stateRecovering // fault expired; rebooting, powered but not routable
 )
 
 func (s nodeState) String() string {
@@ -394,6 +422,12 @@ func (s nodeState) String() string {
 		return "active"
 	case stateDraining:
 		return "draining"
+	case stateSuspect:
+		return "suspect"
+	case stateDown:
+		return "down"
+	case stateRecovering:
+		return "recovering"
 	}
 	return "unknown"
 }
@@ -409,8 +443,20 @@ type node struct {
 	capacity float64 // profiled requests/s (requestCapacity)
 
 	state    nodeState
-	activeAt float64 // warming -> active time
+	activeAt float64 // warming/recovering -> active time
 	nextTick float64
+
+	// Health state (all zero unless Config.Faults is set).
+	downSince    float64 // start of the current outage
+	confirmAt    float64 // suspect -> down confirmation time
+	crashes      int     // lifetime crash count (feeds the breaker)
+	outages      int     // completed crash -> ready cycles
+	breakerOpen  bool    // circuit breaker tripped
+	linkDown     bool    // KV egress partitioned
+	redispatched int     // crashed-elsewhere requests re-routed here
+	upS          float64 // seconds spent serving (active/draining)
+	downtimeS    float64 // seconds in suspect/down/recovering
+	gState       *telemetry.Gauge
 
 	inbox   []*serve.Request // this epoch's arrivals, sorted by Arrival
 	exports []export         // prefill completions awaiting transfer
@@ -475,6 +521,25 @@ type Result struct {
 	ScaleEvents          []ScaleEvent
 	MachineSecondsActive float64 // powered machine-seconds over the horizon
 
+	// Fault-tolerance accounting (zero / empty when Config.Faults is
+	// unset). Availability is the fleet's serving-time fraction:
+	// Σ up-seconds / Σ (up + outage) seconds, 1.0 for a fault-free run.
+	// MTTRs averages completed outages, crash to serving-again.
+	Availability   float64
+	MTTRs          float64
+	Outages        int
+	Crashes        int
+	Retried        int // retry attempts scheduled after crashes
+	Redispatched   int // retries actually re-routed to a survivor
+	Recomputed     int // lost KV handoffs that fell back to prefill recompute
+	KVRerouted     int // in-flight KV handoffs re-sent to a surviving sink
+	FailedRequests int // dropped after exhausting the retry budget
+	// TTFTp99 is the fleet-wide p99 time-to-first-token over the
+	// per-node sliding windows — the tail metric the fleetchaos
+	// experiment tracks for graceful degradation.
+	TTFTp99      float64
+	HealthEvents []HealthEvent
+
 	PerNode []NodeResult
 }
 
@@ -489,6 +554,8 @@ type NodeResult struct {
 	PerfL      float64
 	Watts      float64
 	ActiveS    float64
+	DowntimeS  float64 // seconds lost to outages (suspect/down/recovering)
+	Crashes    int
 }
 
 func run(cfg Config) (Result, error) {
@@ -537,6 +604,7 @@ func run(cfg Config) (Result, error) {
 		if spec.Standby {
 			n.state = stateStandby
 		}
+		n.gState = scope.Gauge("aum_fleet_node_state")
 		nodes[i] = n
 	}
 
@@ -561,6 +629,7 @@ func run(cfg Config) (Result, error) {
 	gRate := cfg.Telemetry.Gauge("aum_fleet_offered_rate_per_s")
 	gQueue := cfg.Telemetry.Gauge("aum_fleet_queue_len")
 	gUtil := cfg.Telemetry.Gauge("aum_fleet_utilization")
+	gAvail := cfg.Telemetry.Gauge("aum_fleet_availability")
 	cRouted := cfg.Telemetry.Counter("aum_fleet_requests_routed_total")
 	cHandoffs := cfg.Telemetry.Counter("aum_fleet_handoffs_total")
 	cScale := cfg.Telemetry.Counter("aum_fleet_scale_events_total")
@@ -570,6 +639,13 @@ func run(cfg Config) (Result, error) {
 	var scaler *autoscaler
 	if cfg.Autoscale != nil {
 		scaler = &autoscaler{cfg: *cfg.Autoscale}
+	}
+	var fe *faultEngine
+	if cfg.Faults != nil {
+		var err error
+		if fe, err = newFaultEngine(cfg); err != nil {
+			return Result{}, err
+		}
 	}
 	var events []ScaleEvent
 
@@ -591,12 +667,24 @@ func run(cfg Config) (Result, error) {
 			// the event-source contract (DESIGN.md §9) explicit.
 			end = math.Min(end, scaler.nextEventAt(end))
 		}
+		if fe != nil {
+			// Same contract: faults quantize to barriers, so the fault
+			// engine's next event is the next barrier too.
+			end = math.Min(end, fe.nextEventAt(end))
+		}
 
 		for qpsIdx < len(cfg.QPS) && cfg.QPS[qpsIdx].At <= start+1e-9 {
 			rate = cfg.QPS[qpsIdx].RatePerS
 			qpsIdx++
 		}
 		setRate(rate)
+
+		// Fleet faults strike before any routing or scaling decision, so
+		// the rest of the barrier already sees the post-fault health
+		// states — a crashed node takes no arrivals this barrier.
+		if fe != nil {
+			fe.apply(start, cfg, nodes, link)
+		}
 
 		// Lifecycle transitions, then this barrier's scaling decision.
 		for _, n := range nodes {
@@ -617,11 +705,16 @@ func run(cfg Config) (Result, error) {
 			}
 		}
 
-		// Route this barrier's arrivals, class by class.
+		// Route this barrier's arrivals, class by class. Matured retries
+		// go first so their (older) arrival times stay ahead of fresh
+		// traffic in each node's inbox.
 		bal.sample(nodes)
 		queued := 0
 		for i := range nodes {
 			queued += bal.qlen[i]
+		}
+		if fe != nil {
+			fe.dispatchDue(start, nodes, bal)
 		}
 		for k, g := range gens {
 			arrivals := g.Emit(start, cfg.BarrierS)
@@ -659,8 +752,25 @@ func run(cfg Config) (Result, error) {
 				continue
 			}
 			for _, ex := range n.exports {
+				if fe != nil && n.linkDown {
+					// The source's egress is partitioned: the KV pages
+					// cannot ship, so the prefill is recomputed elsewhere
+					// (charged honestly through the retry path).
+					fe.recomputed++
+					fe.cRecomputed.Inc()
+					fe.scheduleRetry(end, ex.req, n.class)
+					continue
+				}
 				tgt := pickDecodeTarget(nodes, n.class, i)
 				if tgt < 0 {
+					if fe != nil {
+						// No surviving sink right now: retry rather than
+						// drop — capacity may recover.
+						fe.recomputed++
+						fe.cRecomputed.Inc()
+						fe.scheduleRetry(end, ex.req, n.class)
+						continue
+					}
 					ex.req.Done = true
 					shed++
 					continue
@@ -671,7 +781,7 @@ func run(cfg Config) (Result, error) {
 					done = end
 				}
 				t := nodes[tgt]
-				t.pending = append(t.pending, handoff{req: ex.req, deliverAt: done})
+				t.pending = append(t.pending, handoff{req: ex.req, src: i, deliverAt: done})
 				t.handRecv++
 			}
 			cHandoffs.Add(uint64(len(n.exports)))
@@ -692,16 +802,30 @@ func run(cfg Config) (Result, error) {
 		}
 
 		active, powered, capacity := 0, 0, 0.0
+		upSum, downSum := 0.0, 0.0
 		for _, n := range nodes {
+			n.gState.Set(float64(n.state))
 			switch n.state {
 			case stateActive:
 				active++
+				n.upS += cfg.BarrierS
+			case stateDraining:
+				n.upS += cfg.BarrierS
+			case stateSuspect, stateDown:
+				// Off the power rail: an outage second, no powered time.
+				n.downtimeS += cfg.BarrierS
+			case stateRecovering:
+				// Rebooting: burns power (counted below) but is still an
+				// outage second for availability.
+				n.downtimeS += cfg.BarrierS
 			}
-			if n.state != stateStandby {
+			if n.state != stateStandby && !n.dead() {
 				powered++
 				capacity += n.capacity
 				n.activeS += cfg.BarrierS
 			}
+			upSum += n.upS
+			downSum += n.downtimeS
 		}
 		gActive.Set(float64(active))
 		gPowered.Set(float64(powered))
@@ -710,6 +834,11 @@ func run(cfg Config) (Result, error) {
 		if capacity > 0 {
 			gUtil.Set(rate / capacity)
 		}
+		avail := 1.0
+		if downSum > 0 {
+			avail = upSum / (upSum + downSum)
+		}
+		gAvail.Set(avail)
 		if cfg.Progress != nil {
 			cfg.Progress(end)
 		}
@@ -747,6 +876,7 @@ func run(cfg Config) (Result, error) {
 			Name: n.name, Role: n.spec.Role.String(), State: n.state.String(),
 			Requests: n.requests, HandoffsIn: n.handRecv,
 			PerfH: perfH, PerfL: perfL, Watts: watts, ActiveS: n.activeS,
+			DowntimeS: n.downtimeS, Crashes: n.crashes,
 		})
 	}
 	if prefills > 0 {
@@ -763,6 +893,33 @@ func run(cfg Config) (Result, error) {
 		res.MeanKVDelayS = link.delaySum / float64(link.count)
 	}
 	res.ScaleEvents = events
+	res.Availability = 1
+	var upSum, downSum float64
+	for _, n := range nodes {
+		upSum += n.upS
+		downSum += n.downtimeS
+	}
+	if downSum > 0 {
+		res.Availability = upSum / (upSum + downSum)
+	}
+	var ttfts []float64
+	for _, n := range nodes {
+		ttfts = append(ttfts, n.env.Engine.Stats().RecentTTFTs()...)
+	}
+	res.TTFTp99 = perfmon.Percentile(ttfts, 99)
+	if fe != nil {
+		res.Crashes = fe.crashes
+		res.Outages = fe.outages
+		if fe.outages > 0 {
+			res.MTTRs = fe.mttrSum / float64(fe.outages)
+		}
+		res.Retried = fe.retried
+		res.Redispatched = fe.redispatched
+		res.Recomputed = fe.recomputed
+		res.KVRerouted = fe.rerouted
+		res.FailedRequests = fe.failed
+		res.HealthEvents = fe.events
+	}
 	return res, nil
 }
 
@@ -771,9 +928,9 @@ func run(cfg Config) (Result, error) {
 // their in-epoch times. It runs on a runner goroutine; it touches only
 // its own node.
 func stepEpoch(cfg Config, n *node, start float64, steps int) error {
-	if n.state == stateStandby {
-		// Powered off: the clock advances, nothing runs, no energy
-		// accrues.
+	if n.state == stateStandby || n.dead() {
+		// Powered off (standby) or crashed (suspect/down): the clock
+		// advances, nothing runs, no energy accrues.
 		n.env.M.AdvanceIdle(float64(steps) * cfg.DT)
 		n.maybeSnapshot(cfg.WarmupS, n.env.M.Now())
 		return nil

@@ -41,9 +41,12 @@ type export struct {
 	readyAt float64
 }
 
-// handoff is one prefilled request in transit to a decode machine.
+// handoff is one prefilled request in transit to a decode machine,
+// remembering its source so a crashed destination's in-flight
+// transfers can be re-sent over the same egress link.
 type handoff struct {
 	req       *serve.Request
+	src       int
 	deliverAt float64
 }
 
@@ -51,13 +54,23 @@ type handoff struct {
 type kvLink struct {
 	cfg       LinkConfig
 	busyUntil []float64 // per-source NIC serialization
+	derate    []float64 // per-source bandwidth factor (brownouts); 0 = nominal
 	count     int
 	bytes     float64
 	delaySum  float64 // total readyAt -> arrival delay
 }
 
 func newKVLink(cfg LinkConfig, n int) *kvLink {
-	return &kvLink{cfg: cfg, busyUntil: make([]float64, n)}
+	return &kvLink{cfg: cfg, busyUntil: make([]float64, n), derate: make([]float64, n)}
+}
+
+// setDerate scales machine src's egress bandwidth to f x nominal — the
+// fleet fault layer's LinkBrownout hook. f = 1 restores nominal.
+func (l *kvLink) setDerate(src int, f float64) {
+	if f >= 1 || f <= 0 {
+		f = 0 // stored as 0 so the zero value means nominal
+	}
+	l.derate[src] = f
 }
 
 // transfer schedules one KV-cache move off machine src starting no
@@ -67,7 +80,11 @@ func (l *kvLink) transfer(src int, readyAt, bytes float64) float64 {
 	if l.busyUntil[src] > start {
 		start = l.busyUntil[src]
 	}
-	done := start + l.cfg.LatencyS + bytes/(l.cfg.GBps*1e9)
+	gbps := l.cfg.GBps
+	if f := l.derate[src]; f > 0 {
+		gbps *= f
+	}
+	done := start + l.cfg.LatencyS + bytes/(gbps*1e9)
 	l.busyUntil[src] = done
 	l.count++
 	l.bytes += bytes

@@ -96,6 +96,13 @@ type stepCapture struct {
 // could change the next step's dynamics calls it.
 func (m *Machine) invalidateFF() { m.ff.valid = false }
 
+// InvalidateFastForward drops the step capture from outside the
+// machine API. Layers that mutate a workload's feeding state behind
+// the machine's back — the fleet harvesting a crashed node's serving
+// engine — must call it, or a stale capture could replay a step whose
+// quiescence proof no longer holds.
+func (m *Machine) InvalidateFastForward() { m.invalidateFF() }
+
 // FFSteps returns how many steps were advanced via fast-forward replay
 // rather than a full solve, so observability can report how much
 // simulated time was fast-forwarded.

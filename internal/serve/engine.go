@@ -197,6 +197,38 @@ func (e *Engine) InjectDecode(r *Request, now float64) error {
 	return nil
 }
 
+// Crash models the engine's host machine dying: every request in any
+// stage — queued, mid-prefill, decoding, or backlogged — is pulled out
+// and returned to the caller for re-dispatch elsewhere, and both phase
+// workers abort their in-flight iterations. The engine itself stays
+// usable (the machine may reboot and serve again); cumulative Stats
+// are preserved, so work finished before the crash still counts.
+//
+// The caller owns the returned requests: it must ResetForRetry each
+// one before resubmitting, and must invalidate the host machine's
+// fast-forward capture — the workers' feeding state just changed
+// behind the machine's back.
+func (e *Engine) Crash(now float64) []*Request {
+	var lost []*Request
+	lost = append(lost, e.queue...)
+	// The prefill worker's in-flight job holds requests popped from the
+	// queue that are in no engine list; decode-job requests alias
+	// decodeSet entries, so collecting the set covers them.
+	if j := e.prefill.current; j != nil {
+		lost = append(lost, j.reqs...)
+	}
+	lost = append(lost, e.decodeSet...)
+	lost = append(lost, e.admitBacklog...)
+	e.queue = e.queue[:0]
+	e.decodeSet = e.decodeSet[:0]
+	e.admitBacklog = e.admitBacklog[:0]
+	e.inflightPrefill = 0
+	e.prefill.abort()
+	e.decode.abort()
+	e.tel.recordCrash(now, len(lost))
+	return lost
+}
+
 // HeadWait returns how long the oldest queued request has been waiting
 // at time now — the t_wait of Algorithm 1 line 1.
 func (e *Engine) HeadWait(now float64) float64 {

@@ -33,6 +33,22 @@ type Request struct {
 	Done         bool
 }
 
+// ResetForRetry clears all progress state so the request can be
+// re-dispatched after the machine serving it crashed. Identity and
+// Arrival are preserved: a retried request's TTFT is still measured
+// from its original submission, so failover latency is charged
+// honestly against the SLO rather than laundered by a fresh clock.
+func (r *Request) ResetForRetry() {
+	r.PrefillStart = 0
+	r.started = false
+	r.prefillDone = 0
+	r.FirstToken = 0
+	r.LastTokenAt = 0
+	r.TokensDone = 0
+	r.LAG = 0
+	r.Done = false
+}
+
 // Validate reports whether the request is well-formed.
 func (r *Request) Validate() error {
 	if r.PromptLen < 1 {

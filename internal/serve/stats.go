@@ -130,6 +130,11 @@ func (s *Stats) TailTTFT(p float64) float64 {
 	return perfmon.Percentile(s.recentTTFT, p)
 }
 
+// RecentTTFTs returns the sliding TTFT window (at most maxRecent
+// samples). The fleet layer merges per-node windows to estimate a
+// fleet-wide tail. The caller must not mutate the returned slice.
+func (s *Stats) RecentTTFTs() []float64 { return s.recentTTFT }
+
 // Clone returns a copy safe to keep as an interval snapshot.
 func (s *Stats) Clone() Stats {
 	c := *s

@@ -59,6 +59,10 @@ func newEngineTelemetry(reg *telemetry.Registry, trace *telemetry.Trace) engineT
 	}
 }
 
+func (t *engineTelemetry) recordCrash(now float64, lost int) {
+	t.reg.Emit(now, "serve", "engine-crash", telemetry.Ff("lost_requests", float64(lost)))
+}
+
 func (t *engineTelemetry) recordShed(now float64, reason string) {
 	t.rejected.Inc()
 	t.reg.Emit(now, "serve", "admission-shed", telemetry.F("reason", reason))

@@ -141,6 +141,14 @@ func (w *Worker) CurrentPlan() (llm.IterationPlan, bool) {
 	return w.current.plan, true
 }
 
+// abort drops the in-flight job without completing it — the host
+// machine crashed mid-iteration. lastSteady is cleared so a stale
+// fast-forward capture can never claim the next step is quiescent.
+func (w *Worker) abort() {
+	w.current = nil
+	w.lastSteady = false
+}
+
 // ensureJob pulls the next job from the engine if none is in flight.
 func (w *Worker) ensureJob(now float64) *job {
 	if w.current != nil {

@@ -14,6 +14,7 @@ const (
 	PIDServe      = 1 // serving engine: request lifecycles
 	PIDController = 2 // resource manager: division phases, watchdog
 	PIDMachine    = 3 // machine: power / bandwidth counters
+	PIDFleet      = 4 // cluster: node outages, failover, recovery
 )
 
 // TraceEvent is one record of the Chrome trace_event format

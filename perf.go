@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"aum/internal/cluster"
 	"aum/internal/machine"
 	"aum/internal/platform"
 	"aum/internal/workload"
@@ -93,5 +94,9 @@ func MeasureHotPaths() []HotPathBench {
 	replay.NsPerOp /= 10
 	replay.AllocsPerOp /= 10
 
-	return []HotPathBench{step, replay}
+	// The per-retry cost of fleet failover: schedule with jittered
+	// backoff, sample queue state, dispatch through the balancer.
+	failover := measureLoop("fleet_failover", 2_000, 50_000, cluster.FailoverBenchLoop())
+
+	return []HotPathBench{step, replay, failover}
 }
