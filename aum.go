@@ -45,6 +45,7 @@ import (
 	"aum/internal/llm"
 	"aum/internal/manager"
 	"aum/internal/platform"
+	"aum/internal/scenario"
 	"aum/internal/serve"
 	"aum/internal/telemetry"
 	"aum/internal/trace"
@@ -161,6 +162,73 @@ type (
 	// FleetKind is the fleet fault class of a FleetEvent.
 	FleetKind = chaos.FleetKind
 )
+
+// The declarative workload DSL (DESIGN.md §11): versioned JSON/JSONC
+// scenario files compiled onto the fleet layer, plus the composable
+// arrival shapers they lower to.
+type (
+	// ScenarioSpec is one declarative scenario (schema version 1),
+	// loaded from a JSON/JSONC file or built literally.
+	ScenarioSpec = scenario.Spec
+	// ScenarioRunOptions tune one scenario execution.
+	ScenarioRunOptions = scenario.RunOptions
+	// ScenarioMatrixOptions tune a scenario-matrix sweep.
+	ScenarioMatrixOptions = scenario.MatrixOptions
+	// TraceShaper modulates a Scenario's arrival rate over time (set
+	// Scenario.Shape); implementations must bound Factor by MaxFactor.
+	TraceShaper = trace.Shaper
+	// Diurnal is a sinusoidal day/night arrival-rate curve.
+	Diurnal = trace.Diurnal
+	// FlashCrowd is a trapezoidal arrival-rate surge.
+	FlashCrowd = trace.FlashCrowd
+	// BurstStorm is a seeded train of correlated arrival bursts
+	// (NewBurstStorm).
+	BurstStorm = trace.BurstStorm
+	// MixComponent is one weighted length distribution of a
+	// multi-tenant mixture (set Scenario.Mix).
+	MixComponent = trace.Component
+)
+
+// LoadScenario reads and validates one scenario file (JSON with
+// optional // and /* */ comments and trailing commas).
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenario parses and validates scenario bytes.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
+
+// LoadScenarioDir loads every *.json / *.jsonc scenario in dir, sorted
+// by file name, rejecting duplicate scenario names.
+func LoadScenarioDir(dir string) ([]*ScenarioSpec, error) { return scenario.LoadDir(dir) }
+
+// CompileScenario lowers a scenario onto the fleet layer without
+// running it — the FleetConfig a Go program would have written by hand.
+func CompileScenario(s *ScenarioSpec) (FleetConfig, error) { return s.Compile() }
+
+// RunScenario compiles and executes one scenario.
+func RunScenario(s *ScenarioSpec, o ScenarioRunOptions) (FleetResult, error) {
+	return scenario.Run(s, o)
+}
+
+// ScenarioMatrix sweeps scenarios through the lab's parallel pool and
+// returns one comparison table, rows in input order (the aumbench
+// -scenarios -matrix core).
+func ScenarioMatrix(lab *Lab, specs []*ScenarioSpec, o ScenarioMatrixOptions) (*ResultTable, error) {
+	return scenario.Matrix(lab, specs, o)
+}
+
+// NewBurstStorm returns a seeded burst-storm shaper: windows of durS
+// seconds at factor times the base rate, spaced by exponential gaps
+// with mean meanGapS, precomputed over horizonS.
+func NewBurstStorm(meanGapS, durS, factor, horizonS float64, seed uint64) *BurstStorm {
+	return trace.NewBurstStorm(meanGapS, durS, factor, horizonS, seed)
+}
+
+// ZipfMix returns an n-tenant Zipf(s) popularity mixture over a base
+// scenario's length distribution (set Scenario.Mix); spread scales the
+// tail tenants' request lengths.
+func ZipfMix(base Scenario, n int, s, spread float64) []MixComponent {
+	return trace.ZipfMix(base, n, s, spread)
+}
 
 // Balance policies and machine roles, re-exported for FleetConfig.
 const (

@@ -5,6 +5,15 @@
 //	aumbench -list
 //	aumbench -run fig14
 //	aumbench -run all -quick -workers 8
+//	aumbench -scenarios internal/scenario/library -matrix
+//	aumbench -scenarios dir/ -lint
+//
+// -scenarios enters scenario mode: every *.json / *.jsonc file in the
+// directory is loaded as a declarative workload scenario (DESIGN.md
+// §11). -matrix (the default action) sweeps them all through the
+// runner pool and prints one comparison table; -matrix-out also writes
+// it as JSON. -lint stops after validating and compiling each file,
+// printing one line per scenario — the CI schema check.
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md maps
 // every ID to the corresponding table or figure and records the
@@ -68,6 +77,10 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file from one instrumented run ('' disables)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file ('' disables)")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file ('' disables)")
+		scenDir   = flag.String("scenarios", "", "scenario mode: directory of declarative *.json/*.jsonc scenarios")
+		matrix    = flag.Bool("matrix", false, "with -scenarios: sweep every scenario and print the comparison table (default action)")
+		lint      = flag.Bool("lint", false, "with -scenarios: validate and compile every scenario, then exit")
+		matrixOut = flag.String("matrix-out", "", "with -scenarios -matrix: also write the table as JSON to this path ('' disables)")
 	)
 	flag.StringVar(run, "experiment", "", "alias for -run")
 	flag.Parse()
@@ -109,6 +122,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *scenDir != "" {
+		if err := scenarioMode(*scenDir, *lint, *matrix, *matrixOut, *format, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *list || *run == "" {
 		if *run == "" && !*list && *tracePath != "" {

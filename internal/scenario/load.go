@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Parse decodes one scenario from JSONC bytes (JSON plus // and /* */
+// comments and trailing commas), rejects unknown fields, and validates
+// the result. Every failure is a "scenario:"-prefixed error; field
+// violations carry the vcfg dotted path.
+func Parse(data []byte) (*Spec, error) {
+	clean := stripJSONC(data)
+	dec := json.NewDecoder(bytes.NewReader(clean))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		if f, ok := unknownField(err); ok {
+			return nil, bad("Spec", f, "a field of the version-1 scenario schema (DESIGN.md §11)")
+		}
+		return nil, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	// A second document after the first is damage, not data.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: decoding: trailing data after the scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses one scenario file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading %s: %w", path, err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, stripPrefix(err))
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.json and *.jsonc scenario in dir, sorted by
+// file name so sweeps are deterministic. Scenario names must be unique
+// across the directory — they label matrix rows.
+func LoadDir(dir string) ([]*Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading directory %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".json", ".jsonc":
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenario: directory %s holds no *.json scenarios", dir)
+	}
+	seen := make(map[string]string, len(names))
+	specs := make([]*Spec, 0, len(names))
+	for _, name := range names {
+		s, err := Load(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("scenario: %s: duplicate scenario name %q (already declared by %s)", name, s.Name, prev)
+		}
+		seen[s.Name] = name
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// stripPrefix removes one leading "scenario: " from a nested error so
+// Load's path-bearing wrap does not stutter the package name.
+func stripPrefix(err error) error {
+	msg, ok := strings.CutPrefix(err.Error(), "scenario: ")
+	if !ok {
+		return err
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// unknownField extracts the field name from encoding/json's unknown-
+// field error (the one DisallowUnknownFields produces).
+func unknownField(err error) (string, bool) {
+	const marker = `unknown field "`
+	msg := err.Error()
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// stripJSONC rewrites JSONC to plain JSON: // and /* */ comments become
+// spaces (preserving offsets inside diagnostics) and trailing commas
+// before ] or } are blanked. String literals, including their escape
+// sequences, pass through untouched. The scanner is byte-oriented and
+// total — any input terminates — because the fuzz harness feeds it
+// arbitrary bytes.
+func stripJSONC(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	const (
+		code = iota
+		inString
+		lineComment
+		blockComment
+	)
+	state := code
+	lastComma := -1 // offset of the most recent comma outside strings/comments
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch state {
+		case code:
+			switch c {
+			case '"':
+				state = inString
+				lastComma = -1
+			case '/':
+				if i+1 < len(out) {
+					switch out[i+1] {
+					case '/':
+						state = lineComment
+						out[i], out[i+1] = ' ', ' '
+						i++
+						continue
+					case '*':
+						state = blockComment
+						out[i], out[i+1] = ' ', ' '
+						i++
+						continue
+					}
+				}
+				lastComma = -1
+			case ',':
+				lastComma = i
+			case ']', '}':
+				if lastComma >= 0 {
+					out[lastComma] = ' '
+				}
+				lastComma = -1
+			case ' ', '\t', '\r', '\n':
+				// Whitespace keeps a pending trailing comma pending.
+			default:
+				lastComma = -1
+			}
+		case inString:
+			switch c {
+			case '\\':
+				i++ // skip the escaped byte (may run off the end: loop guard handles it)
+			case '"':
+				state = code
+			}
+		case lineComment:
+			if c == '\n' {
+				state = code
+			} else {
+				out[i] = ' '
+			}
+		case blockComment:
+			if c == '*' && i+1 < len(out) && out[i+1] == '/' {
+				out[i], out[i+1] = ' ', ' '
+				i++
+				state = code
+			} else if c != '\n' {
+				out[i] = ' '
+			}
+		}
+	}
+	return out
+}

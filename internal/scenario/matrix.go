@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+
+	"aum/internal/cluster"
+	"aum/internal/experiments"
+)
+
+// MatrixColumns is the comparison table's column set: the fleet-level
+// outcomes every scenario — shaped, mixed, faulted, or plain — can be
+// judged on. TTFT/TPOT are SLO-attainment fractions, avail is the
+// serving-time fraction (1.0 for a fault-free run), mach-s is powered
+// machine-seconds (the cost axis).
+var MatrixColumns = []string{"goodtok/s", "ttft-guar", "tpot-guar", "avail", "mach-s", "watts", "unrouted"}
+
+// MatrixOptions tune a scenario-matrix sweep.
+type MatrixOptions struct {
+	// Workers caps concurrent machine stepping inside each fleet run
+	// (0 = the lab's fan-out width). Neither width changes results.
+	Workers int
+}
+
+// Matrix sweeps every scenario through the lab's parallel pool and
+// assembles one comparison table, rows in input order. A failing
+// scenario fails the sweep with an error naming it.
+func Matrix(lab *experiments.Lab, specs []*Spec, o MatrixOptions) (*experiments.Table, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: matrix over an empty scenario list")
+	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = lab.Workers()
+	}
+	// Compile everything first: a matrix with a malformed member fails
+	// before any simulation time is spent.
+	cfgs := make([]cluster.Config, len(specs))
+	for i, s := range specs {
+		cfg, err := s.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: compiling %q: %w", s.Name, stripPrefix(err))
+		}
+		cfg.Workers = workers
+		cfgs[i] = cfg
+	}
+	results := make([]cluster.Result, len(specs))
+	err := lab.Parallel(len(specs), func(i int) error {
+		res, err := cluster.Run(cfgs[i])
+		if err != nil {
+			return fmt.Errorf("scenario: running %q: %w", specs[i].Name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &experiments.Table{
+		ID:      "matrix",
+		Title:   fmt.Sprintf("Scenario matrix: %d declarative scenarios", len(specs)),
+		Columns: append([]string(nil), MatrixColumns...),
+	}
+	for i, s := range specs {
+		t.AddRow(s.Name, MatrixRow(results[i])...)
+	}
+	t.AddNote("declarative scenarios (DESIGN.md §11) swept through Lab.Parallel; rows in file-name order")
+	return t, nil
+}
+
+// MatrixRow projects one fleet result onto MatrixColumns — shared by
+// Matrix and the differential tests so the mapping cannot drift.
+func MatrixRow(res cluster.Result) []float64 {
+	return []float64{
+		res.GoodTokensPS, res.TTFTGuar, res.TPOTGuar,
+		res.Availability, res.MachineSecondsActive, res.Watts,
+		float64(res.Unrouted),
+	}
+}

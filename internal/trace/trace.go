@@ -27,6 +27,14 @@ type Scenario struct {
 	// RatePerS is the default offered load, sized to ~75% of GenA's
 	// decode capacity so sharing decisions matter.
 	RatePerS float64
+	// Shape, when set, modulates the arrival rate over time
+	// (inhomogeneous Poisson via thinning — see Shaper). nil keeps the
+	// homogeneous stream, bit-identical to the pre-shaper generator.
+	Shape Shaper
+	// Mix, when non-empty, replaces the single length distribution
+	// with a weighted mixture (multi-tenant scenarios): each arrival
+	// draws a Component by weight, then samples its lengths from it.
+	Mix []Component
 }
 
 // Chatbot returns the ShareGPT chatbot scenario.
@@ -87,6 +95,7 @@ type Generator struct {
 	nextAt float64
 	nextID int
 	rate   float64
+	mixCum []float64        // cumulative Mix weights (nil = single class)
 	buf    []*serve.Request // Emit result backing, reused across ticks
 }
 
@@ -94,6 +103,14 @@ type Generator struct {
 // Use SetRate to sweep offered load.
 func NewGenerator(s Scenario, seed uint64) *Generator {
 	g := &Generator{scen: s, rng: rng.New(seed), rate: s.RatePerS}
+	if len(s.Mix) > 0 {
+		g.mixCum = make([]float64, len(s.Mix))
+		sum := 0.0
+		for i, c := range s.Mix {
+			sum += c.Weight
+			g.mixCum[i] = sum
+		}
+	}
 	g.scheduleNext(0)
 	return g
 }
@@ -109,7 +126,25 @@ func (g *Generator) SetRate(r float64) {
 func (g *Generator) Rate() float64 { return g.rate }
 
 func (g *Generator) scheduleNext(now float64) {
-	g.nextAt = now + g.rng.Exp(g.rate)
+	if g.scen.Shape == nil {
+		g.nextAt = now + g.rng.Exp(g.rate)
+		return
+	}
+	// Thinning (Lewis-Shedler): draw candidates at the envelope rate
+	// and accept with probability Factor(t)/MaxFactor(). Resolving the
+	// next accepted arrival eagerly keeps NextEventAt exact. Shaper
+	// validation guarantees Factor is bounded away from zero somewhere
+	// on every envelope, so the loop terminates with probability 1.
+	max := g.scen.Shape.MaxFactor()
+	t := now
+	for {
+		t += g.rng.Exp(g.rate * max)
+		f := g.scen.Shape.Factor(t)
+		if f > 0 && g.rng.Float64()*max < f {
+			g.nextAt = t
+			return
+		}
+	}
 }
 
 func (g *Generator) sample(mean int, sigma float64, floor int) int {
@@ -128,8 +163,18 @@ func (g *Generator) sample(mean int, sigma float64, floor int) int {
 // pair from the generator's stream — used by fault injectors to
 // synthesize burst arrivals that match the trace's distribution.
 func (g *Generator) SampleLengths() (promptLen, outputLen int) {
-	return g.sample(g.scen.MeanInput, g.scen.SigmaInput, 8),
-		g.sample(g.scen.MeanOutput, g.scen.SigmaOutput, 2)
+	return g.sampleArrival()
+}
+
+// pickComponent draws a mixture component index by cumulative weight.
+func (g *Generator) pickComponent() int {
+	u := g.rng.Float64() * g.mixCum[len(g.mixCum)-1]
+	for i, c := range g.mixCum {
+		if u < c {
+			return i
+		}
+	}
+	return len(g.mixCum) - 1
 }
 
 // Emit returns the requests arriving in (now, now+dt]. The returned
@@ -139,16 +184,31 @@ func (g *Generator) Emit(now, dt float64) []*serve.Request {
 	out := g.buf[:0]
 	for g.nextAt <= now+dt {
 		g.nextID++
+		promptLen, outputLen := g.sampleArrival()
 		out = append(out, &serve.Request{
 			ID:        g.nextID,
 			Arrival:   g.nextAt,
-			PromptLen: g.sample(g.scen.MeanInput, g.scen.SigmaInput, 8),
-			OutputLen: g.sample(g.scen.MeanOutput, g.scen.SigmaOutput, 2),
+			PromptLen: promptLen,
+			OutputLen: outputLen,
 		})
 		g.scheduleNext(g.nextAt)
 	}
 	g.buf = out
 	return out
+}
+
+// sampleArrival draws one arrival's (prompt, output) lengths, from the
+// mixture when one is configured. The unmixed path draws exactly the
+// two values the pre-mixture generator drew, in the same order, so
+// existing streams replay bit-identically.
+func (g *Generator) sampleArrival() (promptLen, outputLen int) {
+	if g.mixCum != nil {
+		c := g.scen.Mix[g.pickComponent()]
+		return g.sample(c.MeanInput, c.SigmaInput, 8),
+			g.sample(c.MeanOutput, c.SigmaOutput, 2)
+	}
+	return g.sample(g.scen.MeanInput, g.scen.SigmaInput, 8),
+		g.sample(g.scen.MeanOutput, g.scen.SigmaOutput, 2)
 }
 
 // NextEventAt reports the absolute arrival time of the next request —
