@@ -16,6 +16,7 @@ import (
 	"aum/internal/membw"
 	"aum/internal/platform"
 	"aum/internal/power"
+	"aum/internal/reqtrace"
 	"aum/internal/serve"
 	"aum/internal/trace"
 	"aum/internal/workload"
@@ -97,6 +98,51 @@ func TestAllocBudgetCostIteration(t *testing.T) {
 	env := machine.Env{Plat: plat, Cores: 29, GHz: 3.1, ComputeShare: 1,
 		LLCMB: plat.TotalLLCMB(), L2MB: 58, BWGBs: plat.MemBWGBs * 0.8}
 	allocBudget(t, "llm.CostIteration", 0, 10, func() { benchCostSink = llm.CostIteration(plan, env) })
+}
+
+// TestAllocBudgetReqTraceDisabled pins the tracing-disabled path at
+// exactly zero: every hook on a nil tracer must cost nothing, because
+// that is what every untraced run pays at every hook site.
+func TestAllocBudgetReqTraceDisabled(t *testing.T) {
+	var tr *reqtrace.Tracer
+	tid := reqtrace.MakeTraceID(0, 1)
+	allocBudget(t, "reqtrace disabled hooks", 0, 10, func() {
+		tr.Submitted(tid, 0, 0)
+		tr.PrefillStart(tid, 0.1, 0)
+		tr.ChunkDone(tid, 0.2, 0.1, 0.1, 0)
+		tr.FirstToken(tid, 0.3, true, 0, 0, 0)
+		tr.Token(tid, 0.4, 0.1, true, 0.05, 0, 0)
+		tr.Retire(tid, 0.4, 0)
+	})
+}
+
+// TestAllocBudgetReqTraceSampled pins the sampled hot path: once a
+// record is live and the burn window exists, the per-token hook is
+// counter updates only — zero allocations at steady state. The
+// sampled-out path (a live tracer that skipped this request) must also
+// be free: it is what every request pays under head sampling.
+func TestAllocBudgetReqTraceSampled(t *testing.T) {
+	tr := reqtrace.New(reqtrace.Config{})
+	tid := reqtrace.MakeTraceID(0, 1)
+	tr.Submitted(tid, 0, 0)
+	tr.PrefillStart(tid, 0.1, 0)
+	tr.FirstToken(tid, 0.2, true, 0, 0, 0)
+	allocBudget(t, "reqtrace.Token sampled", 0, 1000, func() {
+		tr.Token(tid, 0.3, 0.1, true, 0.05, 0, 0)
+	})
+
+	n4 := reqtrace.New(reqtrace.Config{SampleEvery: 4})
+	skipped := reqtrace.MakeTraceID(0, 2) // head pattern samples 1, 5, 9, ...
+	if n4.Sampled(skipped) {
+		t.Fatal("fixture request unexpectedly sampled")
+	}
+	allocBudget(t, "reqtrace sampled-out hooks", 0, 1000, func() {
+		n4.Submitted(skipped, 0, 0)
+		n4.PrefillStart(skipped, 0.1, 0)
+		n4.FirstToken(skipped, 0.2, true, 0, 0, 0)
+		n4.Token(skipped, 0.3, 0.1, true, 0.05, 0, 0)
+		n4.Retire(skipped, 0.4, 0)
+	})
 }
 
 // TestAllocBudgetMaxMin pins the bandwidth arbitration at its

@@ -45,6 +45,7 @@ import (
 	"aum/internal/llm"
 	"aum/internal/manager"
 	"aum/internal/platform"
+	"aum/internal/reqtrace"
 	"aum/internal/scenario"
 	"aum/internal/serve"
 	"aum/internal/telemetry"
@@ -372,6 +373,10 @@ var (
 	// WithTrace attaches a ChromeTrace that records node outages,
 	// failover, and recovery spans.
 	WithTrace = cluster.WithTrace
+	// WithRequestTracing attaches a per-request causal tracer that
+	// records span trees, blame vectors, and SLO burn-rate timelines
+	// across the fleet (NewRequestTracer).
+	WithRequestTracing = cluster.WithRequestTracing
 )
 
 // NewTelemetryRegistry returns an empty metric/event registry to wire
@@ -446,3 +451,48 @@ func WritePrometheus(w io.Writer, s TelemetrySnapshot) error { return telemetry.
 // ValidatePrometheus checks a Prometheus text exposition stream for
 // well-formedness (the promcheck command's core).
 func ValidatePrometheus(r io.Reader) error { return telemetry.ValidatePrometheus(r) }
+
+// Per-request causal tracing (DESIGN.md §12): deterministic span trees,
+// critical-path blame attribution, and SLO burn-rate timelines. A
+// RequestTracer observes a run without changing its results; set
+// RunConfig.ReqTrace or use WithRequestTracing for fleets.
+type (
+	// RequestTracer records per-request lifecycle spans and blame.
+	RequestTracer = reqtrace.Tracer
+	// ReqTraceConfig parameterizes a RequestTracer (sampling, burn-rate
+	// window, retention); the zero value keeps documented defaults.
+	ReqTraceConfig = reqtrace.Config
+	// RequestTrace is one finished request's span tree and blame
+	// vectors, as returned by (*RequestTracer).Recent.
+	RequestTrace = reqtrace.RequestTrace
+	// RequestSpan is one interval in a RequestTrace.
+	RequestSpan = reqtrace.Span
+	// BlameReport is the fleet-wide critical-path blame table plus the
+	// SLO burn-rate timeline, as returned by (*RequestTracer).Report.
+	BlameReport = reqtrace.BlameReport
+	// CategoryBlame is one blame category's share of a BlameReport.
+	CategoryBlame = reqtrace.CategoryBlame
+	// BurnReport is the SLO burn-rate timeline of a BlameReport.
+	BurnReport = reqtrace.BurnReport
+	// BurnPoint is one burn-rate window of a BurnReport.
+	BurnPoint = reqtrace.BurnPoint
+)
+
+// NewRequestTracer returns a per-request causal tracer to wire into
+// RunConfig.ReqTrace or WithRequestTracing.
+func NewRequestTracer(cfg ReqTraceConfig) *RequestTracer { return reqtrace.New(cfg) }
+
+// BlameCategories returns the blame taxonomy in canonical order —
+// the category strings used by RequestTrace and CategoryBlame.
+func BlameCategories() []string { return reqtrace.Categories() }
+
+// SetRequestTracingForced globally forces request tracing on for runs
+// that did not wire a tracer, exercising every hook with an invisible
+// private tracer. Neutrality harness only: results and trace files stay
+// byte-identical (the tracing determinism contract, DESIGN.md §12).
+func SetRequestTracingForced(on bool) { reqtrace.SetForced(on) }
+
+// ValidateBlameSeries checks the aum_blame_* and aum_slo_burn_rate
+// series of a Prometheus exposition against the blame taxonomy (the
+// promcheck command's second pass).
+func ValidateBlameSeries(r io.Reader) error { return reqtrace.ValidateBlameSeries(r) }

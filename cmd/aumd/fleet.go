@@ -23,13 +23,14 @@ func runFleetDaemon(policyName string, duration, report float64, seed uint64, ht
 		log.Fatal(err)
 	}
 	reg := aum.NewTelemetryRegistry()
+	rt := aum.NewRequestTracer(aum.ReqTraceConfig{Telemetry: reg})
 	if httpAddr != "" {
 		ln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg, degradedBelow)
+		go serveTelemetry(ln, reg, rt, degradedBelow)
 	}
 
 	nextAt := 0.0
@@ -49,6 +50,7 @@ func runFleetDaemon(policyName string, duration, report float64, seed uint64, ht
 		aum.WithAutoscale(aum.AutoscaleConfig{HoldBarriers: 2, WarmupDelayS: 1}),
 		aum.WithSeed(seed),
 		aum.WithTelemetry(reg),
+		aum.WithRequestTracing(rt),
 		aum.WithProgress(func(now float64) {
 			if now >= nextAt {
 				nextAt = now + report

@@ -16,12 +16,15 @@ import (
 //
 //	/metrics      Prometheus text exposition (0.0.4) of a fresh snapshot
 //	/events       the structured event ring as JSON, oldest first
+//	/requests     recent per-request causal traces (spans + blame), JSON
+//	/slo          fleet blame table and SLO burn-rate timeline, JSON
 //	/healthz      liveness + fleet availability probe
 //	/debug/pprof  Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Every request snapshots the registry, so responses are internally
-// consistent even while the simulation is mutating metrics.
-func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, degradedBelow float64) {
+// consistent even while the simulation is mutating metrics. The rt
+// tracer may be nil; /requests and /slo then serve empty reports.
+func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, rt *aum.RequestTracer, degradedBelow float64) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -46,6 +49,24 @@ func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, degradedBelow f
 		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			log.Printf("aumd: /events: %v", err)
+		}
+	})
+	mux.HandleFunc("/requests", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		resp := struct {
+			Requests []aum.RequestTrace `json:"requests"`
+		}{Requests: rt.Recent(32)}
+		if resp.Requests == nil {
+			resp.Requests = []aum.RequestTrace{}
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			log.Printf("aumd: /requests: %v", err)
+		}
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(rt.Report()); err != nil {
+			log.Printf("aumd: /slo: %v", err)
 		}
 	})
 	mux.HandleFunc("/healthz", healthzHandler(reg, degradedBelow))

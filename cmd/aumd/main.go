@@ -9,8 +9,9 @@
 // registry (DESIGN.md §7): the serving SLO status, the current
 // processor division, the CAT/MBA grant chosen by the collision-aware
 // tuner, and the watchdog state. With -http the same registry is
-// served live over /metrics (Prometheus text), /events (JSON), and
-// /healthz for the duration of the run.
+// served live over /metrics (Prometheus text), /events (JSON),
+// /requests and /slo (per-request causal traces and blame/burn-rate
+// reports, JSON), and /healthz for the duration of the run.
 //
 // With -fleet the daemon instead simulates a heterogeneous cluster
 // under the selected -policy, riding a QPS surge with the AUV-aware
@@ -153,6 +154,7 @@ func main() {
 	}
 
 	reg := aum.NewTelemetryRegistry()
+	rt := aum.NewRequestTracer(aum.ReqTraceConfig{Telemetry: reg})
 
 	// Bind before the run so a bad -http address fails fast instead of
 	// after simulating the whole horizon.
@@ -162,7 +164,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg, *degraded)
+		go serveTelemetry(ln, reg, rt, *degraded)
 	}
 
 	inner, err := aum.NewAUM(auv, aum.ControllerOptions{Watchdog: *watchdog, Telemetry: reg})
@@ -176,7 +178,7 @@ func main() {
 	res, err := aum.Run(aum.RunConfig{
 		Plat: plat, Model: model, Scen: scen, BE: &be,
 		Manager: mgr, HorizonS: *duration, Seed: *seed,
-		Telemetry: reg,
+		Telemetry: reg, ReqTrace: rt,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,11 +5,19 @@
 //	curl -s localhost:9090/metrics | promcheck
 //	promcheck metrics.txt
 //
+// Beyond the format check it validates the blame/SLO series contract:
+// every aum_blame_* sample must belong to a known family with a known
+// cat= and side= label, and aum_slo_burn_rate must carry a known slo=
+// label — so a renamed blame category fails CI instead of silently
+// vanishing from dashboards.
+//
 // Exit status is non-zero on the first malformed line, a sample
-// preceding its TYPE header, or an empty scrape.
+// preceding its TYPE header, duplicate HELP/TYPE lines for a family,
+// an invalid blame series, or an empty scrape.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -29,7 +37,17 @@ func main() {
 		defer f.Close()
 		in, name = f, os.Args[1]
 	}
-	if err := aum.ValidatePrometheus(in); err != nil {
+	// Buffer the scrape: both validators consume the full body.
+	body, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if err := aum.ValidatePrometheus(bytes.NewReader(body)); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if err := aum.ValidateBlameSeries(bytes.NewReader(body)); err != nil {
 		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
 		os.Exit(1)
 	}

@@ -30,6 +30,7 @@ import (
 	"aum/internal/perfmon"
 	"aum/internal/platform"
 	"aum/internal/rdt"
+	"aum/internal/reqtrace"
 	"aum/internal/rng"
 	"aum/internal/runner"
 	"aum/internal/serve"
@@ -130,6 +131,10 @@ type Config struct {
 	// Trace, when set, receives failover spans (outages, redispatches)
 	// in Chrome trace_event form.
 	Trace *telemetry.Trace
+	// ReqTrace, when set, records per-request causal traces across the
+	// fleet: span trees with failover hops, blame vectors, and SLO
+	// burn-rate timelines (package reqtrace). Observation-only.
+	ReqTrace *reqtrace.Tracer
 	// Workers caps how many machines step concurrently within an epoch
 	// (0 = GOMAXPROCS). The width never changes results (DESIGN.md §8).
 	Workers int
@@ -185,6 +190,11 @@ func WithFaults(f FaultConfig) Option { return func(c *Config) { c.Faults = &f }
 
 // WithTrace attaches a Chrome trace buffer for failover spans.
 func WithTrace(tr *telemetry.Trace) Option { return func(c *Config) { c.Trace = tr } }
+
+// WithRequestTracing attaches a per-request causal tracer.
+func WithRequestTracing(rt *reqtrace.Tracer) Option {
+	return func(c *Config) { c.ReqTrace = rt }
+}
 
 // WithSeed sets the root random seed.
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
@@ -565,6 +575,15 @@ func run(cfg Config) (Result, error) {
 		gamma = cfg.BE.RevenuePrice
 	}
 
+	// Request tracing: honor an explicit tracer, or — when forced for a
+	// neutrality check — construct a private one so the hooks execute
+	// without any caller opting in. The private tracer is never exported,
+	// so output stays byte-identical (reqtrace's determinism contract).
+	rt := cfg.ReqTrace
+	if rt == nil && reqtrace.Forced() {
+		rt = reqtrace.New(reqtrace.Config{})
+	}
+
 	nodes := make([]*node, len(cfg.Machines))
 	for i, spec := range cfg.Machines {
 		scen := classes[classOf[i]]
@@ -577,7 +596,8 @@ func run(cfg Config) (Result, error) {
 		}
 		m.SetTelemetry(scope)
 		n := &node{name: fmt.Sprintf("%s-%d", spec.Plat.Name, i), spec: spec, class: classOf[i]}
-		engCfg := serve.Config{Model: cfg.Model, SLO: scen.SLO, Telemetry: scope}
+		engCfg := serve.Config{Model: cfg.Model, SLO: scen.SLO, Telemetry: scope,
+			ReqTrace: rt, Node: i}
 		if spec.Role == RolePrefill {
 			engCfg.Handoff = func(r *serve.Request, now float64) {
 				n.exports = append(n.exports, export{req: r, readyAt: now})
@@ -646,6 +666,7 @@ func run(cfg Config) (Result, error) {
 		if fe, err = newFaultEngine(cfg); err != nil {
 			return Result{}, err
 		}
+		fe.rt = rt
 	}
 	var events []ScaleEvent
 
@@ -727,6 +748,9 @@ func run(cfg Config) (Result, error) {
 				continue
 			}
 			for _, r := range arrivals {
+				if rt != nil {
+					r.TraceID = reqtrace.MakeTraceID(k, r.ID)
+				}
 				i := bal.pick(k, nodes, routable)
 				nodes[i].inbox = append(nodes[i].inbox, r)
 				nodes[i].requests++
@@ -758,6 +782,7 @@ func run(cfg Config) (Result, error) {
 					// (charged honestly through the retry path).
 					fe.recomputed++
 					fe.cRecomputed.Inc()
+					rt.CrashLost(ex.req.TraceID, end, i)
 					fe.scheduleRetry(end, ex.req, n.class)
 					continue
 				}
@@ -768,6 +793,7 @@ func run(cfg Config) (Result, error) {
 						// drop — capacity may recover.
 						fe.recomputed++
 						fe.cRecomputed.Inc()
+						rt.CrashLost(ex.req.TraceID, end, i)
 						fe.scheduleRetry(end, ex.req, n.class)
 						continue
 					}
@@ -839,9 +865,15 @@ func run(cfg Config) (Result, error) {
 			avail = upSum / (upSum + downSum)
 		}
 		gAvail.Set(avail)
+		rt.Publish()
 		if cfg.Progress != nil {
 			cfg.Progress(end)
 		}
+	}
+
+	rt.Publish()
+	if cfg.ReqTrace != nil {
+		cfg.ReqTrace.ExportChrome(cfg.Trace)
 	}
 
 	// Fleet accounting: per-node post-warmup deltas, summed.

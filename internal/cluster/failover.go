@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"aum/internal/chaos"
+	"aum/internal/reqtrace"
 	"aum/internal/rng"
 	"aum/internal/serve"
 	"aum/internal/telemetry"
@@ -151,6 +152,7 @@ type faultEngine struct {
 
 	events []HealthEvent
 	trace  *telemetry.Trace
+	rt     *reqtrace.Tracer // per-request causal tracer (nil-safe)
 
 	cCrashes      *telemetry.Counter
 	cRetries      *telemetry.Counter
@@ -364,6 +366,7 @@ func (fe *faultEngine) harvest(now float64, cfg Config, nodes []*node, link *kvL
 		if r == nil || r.Done {
 			continue
 		}
+		fe.rt.CrashLost(r.TraceID, now, self)
 		fe.scheduleRetry(now, r, n.class)
 	}
 	fe.reg.Emit(now, "cluster", "node-harvest",
@@ -380,6 +383,7 @@ func (fe *faultEngine) scheduleRetry(now float64, r *serve.Request, class int) {
 		r.Done = true
 		fe.failed++
 		fe.cFailed.Inc()
+		fe.rt.Failed(r.TraceID, now)
 		return
 	}
 	fe.attempts[r] = attempt
@@ -436,6 +440,7 @@ func (fe *faultEngine) dispatchDue(now float64, nodes []*node, bal *balancer) {
 		nodes[i].redispatched++
 		fe.redispatched++
 		fe.cRedispatched.Inc()
+		fe.rt.Redispatched(e.req.TraceID, now, i)
 		fe.trace.Instant("redispatch", "fleet", telemetry.PIDFleet, i, now,
 			map[string]float64{"request": float64(e.req.ID), "attempt": float64(e.attempt)})
 	}

@@ -16,6 +16,7 @@ import (
 	"aum/internal/perfmon"
 	"aum/internal/platform"
 	"aum/internal/rdt"
+	"aum/internal/reqtrace"
 	"aum/internal/serve"
 	"aum/internal/telemetry"
 	"aum/internal/trace"
@@ -123,6 +124,11 @@ type Config struct {
 	// TraceSink, when set, collects Chrome trace_event spans (request
 	// lifecycles, division phases, per-tick counter tracks).
 	TraceSink *telemetry.Trace
+
+	// ReqTrace, when set, records per-request causal traces and blame
+	// vectors (package reqtrace). Observation-only: enabling it never
+	// changes results.
+	ReqTrace *reqtrace.Tracer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -345,8 +351,22 @@ func Run(cfg Config) (Result, error) {
 		cfg.TraceSink.SetProcessName(telemetry.PIDMachine, "machine")
 	}
 
+	rt := cfg.ReqTrace
+	if rt == nil && reqtrace.Forced() {
+		rt = reqtrace.New(reqtrace.Config{})
+	}
 	eng := serve.NewEngine(serve.Config{Model: cfg.Model, SLO: cfg.Scen.SLO, Admission: cfg.Admission,
-		Telemetry: cfg.Telemetry, Trace: cfg.TraceSink})
+		Telemetry: cfg.Telemetry, Trace: cfg.TraceSink, ReqTrace: rt})
+	// submit stamps a trace ID before handing the request to the engine.
+	// Chaos bursts use negative IDs; MakeTraceID folds both sign ranges
+	// into distinct nonzero IDs.
+	submit := eng.Submit
+	if rt != nil {
+		submit = func(r *serve.Request) error {
+			r.TraceID = reqtrace.MakeTraceID(0, r.ID)
+			return eng.Submit(r)
+		}
+	}
 	var src arrivalSource
 	if cfg.Trace != nil {
 		src = trace.NewReplayer(cfg.Trace)
@@ -427,17 +447,20 @@ func Run(cfg Config) (Result, error) {
 	for m.Now() < cfg.HorizonS {
 		now := m.Now()
 		for _, r := range src.Emit(now, cfg.DT) {
-			if err := eng.Submit(r); err != nil {
+			if err := submit(r); err != nil {
 				return Result{}, err
 			}
 		}
 		if inj != nil {
-			if err := inj.Advance(now, eng.Submit); err != nil {
+			if err := inj.Advance(now, submit); err != nil {
 				return Result{}, err
 			}
 		}
 		if now >= sloMon.nextAt {
 			sloMon.observe(now, eng.HeadWait(now), eng.Stats())
+			// Fold finished request traces at the monitor cadence; the
+			// loop is single-threaded, so the fold is deterministic.
+			rt.Publish()
 		}
 		if interval > 0 && now >= nextTick {
 			gQueueLen.Set(float64(eng.QueueLen()))
@@ -515,6 +538,13 @@ func Run(cfg Config) (Result, error) {
 	if !measured {
 		snapshot()
 		baseStats = eng.Stats().Clone()
+	}
+	rt.Publish()
+	// Only an explicitly configured tracer exports spans into the Chrome
+	// trace: the forced-mode fallback tracer must stay invisible so the
+	// neutrality proof covers byte-identical trace files too.
+	if cfg.ReqTrace != nil {
+		cfg.ReqTrace.ExportChrome(cfg.TraceSink)
 	}
 
 	elapsed := m.Now() - baseTime

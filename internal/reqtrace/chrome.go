@@ -1,0 +1,47 @@
+package reqtrace
+
+import "aum/internal/telemetry"
+
+// ExportChrome renders the retained span trees into a Chrome trace:
+// each request's spans land on the track of the machine that executed
+// them (pid=PIDServe, tid=node), and whenever a request hops between
+// machines — KV handoff to the decode tier, failover re-dispatch — a
+// flow arrow (ph "s"/"f") links the two tracks. Flow IDs derive from
+// the trace ID so arrows from different requests never merge.
+//
+// Single-threaded callers only (it folds); a nil tracer or trace is a
+// no-op.
+func (t *Tracer) ExportChrome(tr *telemetry.Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	t.fold()
+	recs := append([]*rec(nil), t.recent...)
+	t.mu.Unlock()
+
+	for _, r := range recs {
+		class, id := SplitTraceID(r.tid)
+		args := map[string]float64{"class": float64(class), "req": float64(id)}
+		prevNode := -1
+		prevEnd := 0.0
+		hop := int64(0)
+		for _, s := range r.spans {
+			if s.End > s.Start {
+				tr.Span(s.Name, "request", telemetry.PIDServe, s.Node, s.Start, s.End, args)
+			} else {
+				tr.Instant(s.Name, "request", telemetry.PIDServe, s.Node, s.Start, args)
+			}
+			if prevNode >= 0 && s.Node != prevNode {
+				// The request moved machines: draw the flow arrow from
+				// where the previous span ended to where this one starts.
+				flowID := int64(r.tid)<<4 | (hop & 0xf)
+				tr.FlowStart("req-flow", "request", telemetry.PIDServe, prevNode, prevEnd, flowID)
+				tr.FlowEnd("req-flow", "request", telemetry.PIDServe, s.Node, s.Start, flowID)
+				hop++
+			}
+			prevNode = s.Node
+			prevEnd = s.End
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package reqtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+var labelRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"`)
+
+// validSides are the two blame sides / SLO axes.
+func validSide(s string) bool { return s == "ttft" || s == "tpot" }
+
+func validCategory(s string) bool {
+	for c := 0; c < NumCategories; c++ {
+		if Category(c).String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateBlameSeries scans a Prometheus text exposition and checks
+// every blame / burn-rate sample against the taxonomy of this package:
+// `aum_blame_seconds` must carry cat= (a known Category) and side=
+// (ttft|tpot); `aum_slo_burn_rate` must carry slo= (ttft|tpot); any
+// other `aum_blame_*` family is rejected as unknown. Expositions with
+// no blame series at all pass — the series only exist when request
+// tracing is on.
+func ValidateBlameSeries(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		family, labelBody := name, ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			family, labelBody = name[:i], name[i:]
+		}
+		isBlame := strings.HasPrefix(family, "aum_blame_")
+		isBurn := family == "aum_slo_burn_rate"
+		if !isBlame && !isBurn {
+			continue
+		}
+		labels := map[string]string{}
+		for _, m := range labelRe.FindAllStringSubmatch(labelBody, -1) {
+			labels[m[1]] = m[2]
+		}
+		switch {
+		case family == "aum_blame_seconds":
+			if !validCategory(labels["cat"]) {
+				return fmt.Errorf("reqtrace: line %d: %s has unknown blame category %q", lineNo, name, labels["cat"])
+			}
+			if !validSide(labels["side"]) {
+				return fmt.Errorf("reqtrace: line %d: %s has invalid side %q (want ttft|tpot)", lineNo, name, labels["side"])
+			}
+		case isBlame:
+			return fmt.Errorf("reqtrace: line %d: unknown blame family %q", lineNo, family)
+		case isBurn:
+			if !validSide(labels["slo"]) {
+				return fmt.Errorf("reqtrace: line %d: %s has invalid slo %q (want ttft|tpot)", lineNo, name, labels["slo"])
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"aum/internal/llm"
+	"aum/internal/reqtrace"
 	"aum/internal/telemetry"
 )
 
@@ -33,6 +34,14 @@ type Config struct {
 	// Trace, when set, receives per-request queue/prefill/decode spans
 	// in Chrome trace_event form.
 	Trace *telemetry.Trace
+	// ReqTrace, when set, receives per-request lifecycle hooks for
+	// causal tracing and blame attribution (package reqtrace). Nil
+	// disables tracing at the cost of one nil check per hook; the
+	// tracer is observation-only and never changes results.
+	ReqTrace *reqtrace.Tracer
+	// Node identifies this engine's machine in request traces (the tid
+	// of its spans); single-machine runs leave it 0.
+	Node int
 	// Handoff, when set, turns the engine into the prefill half of a
 	// disaggregated prefill/decode pair: instead of joining this
 	// engine's decode batch, each request is passed to the callback at
@@ -105,6 +114,7 @@ type Engine struct {
 	decodeReqs  []*Request
 
 	tel engineTelemetry
+	rt  *reqtrace.Tracer
 }
 
 // NewEngine creates an engine and its two phase workers.
@@ -113,6 +123,7 @@ func NewEngine(cfg Config) *Engine {
 	e.prefill = &Worker{eng: e, phase: llm.Prefill}
 	e.decode = &Worker{eng: e, phase: llm.Decode}
 	e.tel = newEngineTelemetry(e.cfg.Telemetry, e.cfg.Trace)
+	e.rt = e.cfg.ReqTrace
 	return e
 }
 
@@ -140,11 +151,17 @@ func (e *Engine) Submit(r *Request) error {
 	if ad.MaxQueue > 0 && len(e.queue) >= ad.MaxQueue {
 		e.stats.Rejected++
 		e.tel.recordShed(r.Arrival, "max-queue")
+		if e.rt != nil {
+			e.rt.Shed(r.TraceID, r.Arrival, "max-queue", e.cfg.Node)
+		}
 		return nil
 	}
 	if ad.MaxHeadWait > 0 && len(e.queue) > 0 && r.Arrival-e.queue[0].Arrival > ad.MaxHeadWait {
 		e.stats.Rejected++
 		e.tel.recordShed(r.Arrival, "max-head-wait")
+		if e.rt != nil {
+			e.rt.Shed(r.TraceID, r.Arrival, "max-head-wait", e.cfg.Node)
+		}
 		return nil
 	}
 	if r.Deadline == 0 && ad.QueueDeadline > 0 {
@@ -152,6 +169,9 @@ func (e *Engine) Submit(r *Request) error {
 	}
 	e.queue = append(e.queue, r)
 	e.tel.submitted.Inc()
+	if e.rt != nil {
+		e.rt.Submitted(r.TraceID, r.Arrival, e.cfg.Node)
+	}
 	return nil
 }
 
@@ -193,6 +213,13 @@ func (e *Engine) InjectDecode(r *Request, now float64) error {
 		r.Done = true
 		e.stats.BacklogDropped++
 		e.tel.recordBacklogDrop(now)
+		if e.rt != nil {
+			e.rt.Dropped(r.TraceID, now, e.cfg.Node)
+		}
+		return nil
+	}
+	if e.rt != nil {
+		e.rt.Injected(r.TraceID, now, e.cfg.Node)
 	}
 	return nil
 }
@@ -287,6 +314,9 @@ func (e *Engine) expireQueued(now float64) {
 		if r.Deadline > 0 && now > r.Deadline && !r.started {
 			e.stats.TimedOut++
 			e.tel.recordTimeout(now, now-r.Arrival)
+			if e.rt != nil {
+				e.rt.TimedOut(r.TraceID, now, e.cfg.Node)
+			}
 			continue
 		}
 		keep = append(keep, r)
@@ -317,7 +347,12 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 		}
 		plan := e.cfg.Model.PlanPrefill(1, chunk)
 		e.inflightPrefill++
-		return &job{plan: plan, reqs: []*Request{r}, chunkTokens: chunk}
+		j := &job{plan: plan, reqs: []*Request{r}, chunkTokens: chunk, startedAt: now}
+		if e.rt != nil && e.rt.Sampled(r.TraceID) {
+			j.traced = true
+			e.rt.PrefillStart(r.TraceID, now, e.cfg.Node)
+		}
+		return j
 	}
 	n := e.cfg.PrefillBatch
 	if n > len(e.queue) {
@@ -338,7 +373,16 @@ func (e *Engine) nextPrefillJob(now float64) *job {
 	}
 	plan := e.cfg.Model.PlanPrefill(n, seq)
 	e.inflightPrefill += n
-	return &job{plan: plan, reqs: reqs}
+	j := &job{plan: plan, reqs: reqs, startedAt: now}
+	if e.rt != nil {
+		for _, r := range reqs {
+			if e.rt.Sampled(r.TraceID) {
+				j.traced = true
+				e.rt.PrefillStart(r.TraceID, now, e.cfg.Node)
+			}
+		}
+	}
+	return j
 }
 
 // nextDecodeJob forms one decode iteration over the current batch, or
@@ -354,7 +398,16 @@ func (e *Engine) nextDecodeJob(now float64) *job {
 		ctx += r.PromptLen + r.TokensDone
 	}
 	plan := e.cfg.Model.PlanDecode(len(reqs), ctx/len(reqs))
-	return &job{plan: plan, reqs: reqs}
+	j := &job{plan: plan, reqs: reqs, startedAt: now}
+	if e.rt != nil {
+		for _, r := range reqs {
+			if e.rt.Sampled(r.TraceID) {
+				j.traced = true
+				break
+			}
+		}
+	}
+	return j
 }
 
 // onPrefillDone records the first token and moves requests into the
@@ -367,6 +420,9 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 		r := j.reqs[0]
 		r.prefillDone += j.chunkTokens
 		if r.prefillDone < r.PromptLen {
+			if e.rt != nil {
+				e.rt.ChunkDone(r.TraceID, now, j.execMembw, j.execThrottle, e.cfg.Node)
+			}
 			e.queue = append(e.queue, r)
 			return
 		}
@@ -378,14 +434,24 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 		e.stats.recordTTFT(now-r.Arrival, e.cfg.SLO, r.PromptLen)
 		e.stats.PrefillTokens += float64(r.PromptLen)
 		e.tel.recordPrefillDone(r, now, now-r.Arrival <= e.cfg.SLO.TTFT)
+		if e.rt != nil {
+			e.rt.FirstToken(r.TraceID, now, now-r.Arrival <= e.cfg.SLO.TTFT,
+				j.execMembw, j.execThrottle, e.cfg.Node)
+		}
 		if r.OutputLen <= 1 {
 			r.Done = true
 			e.stats.FinishedOutput++
 			e.tel.recordRetire(r, now)
+			if e.rt != nil {
+				e.rt.Retire(r.TraceID, now, e.cfg.Node)
+			}
 			continue
 		}
 		if e.cfg.Handoff != nil {
 			e.stats.HandedOff++
+			if e.rt != nil {
+				e.rt.HandoffReady(r.TraceID, now, e.cfg.Node)
+			}
 			e.cfg.Handoff(r, now)
 			continue
 		}
@@ -401,6 +467,9 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 			r.Done = true
 			e.stats.BacklogDropped++
 			e.tel.recordBacklogDrop(now)
+			if e.rt != nil {
+				e.rt.Dropped(r.TraceID, now, e.cfg.Node)
+			}
 		}
 	}
 }
@@ -412,6 +481,7 @@ func (e *Engine) onPrefillDone(j *job, now float64) {
 // stay in the batch.
 func (e *Engine) onDecodeDone(j *job, now float64) {
 	e.tel.batchOcc.Observe(float64(len(j.reqs)))
+	iterExec := now - j.startedAt
 	for _, r := range j.reqs {
 		eTok := now - r.LastTokenAt
 		r.LastTokenAt = now
@@ -419,10 +489,17 @@ func (e *Engine) onDecodeDone(j *job, now float64) {
 		r.LAG += e.cfg.SLO.TPOT - eTok
 		e.stats.recordToken(eTok, e.cfg.SLO.TPOT)
 		e.tel.recordToken(eTok, eTok <= e.cfg.SLO.TPOT)
+		if e.rt != nil {
+			e.rt.Token(r.TraceID, now, eTok, eTok <= e.cfg.SLO.TPOT,
+				iterExec, j.execMembw, j.execThrottle)
+		}
 		if r.TokensDone >= r.OutputLen {
 			r.Done = true
 			e.stats.FinishedOutput++
 			e.tel.recordRetire(r, now)
+			if e.rt != nil {
+				e.rt.Retire(r.TraceID, now, e.cfg.Node)
+			}
 		}
 	}
 	keep := e.decodeSet[:0]

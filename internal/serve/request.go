@@ -17,6 +17,11 @@ type Request struct {
 	Arrival   float64 // submission time
 	PromptLen int     // input tokens
 	OutputLen int     // output tokens to generate (including the first)
+	// TraceID identifies the request in the causal tracer (package
+	// reqtrace); 0 means untraced. Like ID and Arrival it survives
+	// ResetForRetry, so one trace follows the request across failover
+	// hops.
+	TraceID uint64
 	// Deadline is the absolute time past which a still-queued request is
 	// dropped instead of prefilled (0 = no deadline). Submit stamps it
 	// from Admission.QueueDeadline when unset.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"aum/internal/llm"
 	"aum/internal/machine"
@@ -15,6 +16,15 @@ type job struct {
 	reqs        []*Request
 	remaining   float64 // fraction of the iteration still to execute
 	chunkTokens int     // >0 for a chunked prefill job
+	startedAt   float64 // formation time (iteration start for blame)
+
+	// Causal-tracing state (package reqtrace). traced is set at job
+	// formation when any request in the job is sampled; the stall
+	// fractions are computed once at the completion boundary and carry
+	// the membw/throttle share of the iteration's execution time.
+	traced       bool
+	execMembw    float64
+	execThrottle float64
 }
 
 // Worker executes one serving phase as a machine workload. The manager
@@ -257,6 +267,9 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 		if j.remaining <= 1e-9 {
 			steady = false
 			done := now + (dt - left)
+			if j.traced {
+				j.execMembw, j.execThrottle = stallFractions(j.plan, env, cost)
+			}
 			if w.phase == llm.Prefill {
 				w.eng.onPrefillDone(j, done)
 			} else {
@@ -278,6 +291,41 @@ func (w *Worker) Step(env machine.Env, now, dt float64) machine.Usage {
 	}
 	u.Breakdown.Normalize()
 	return u
+}
+
+// stallFractions decomposes an iteration's execution time by roofline
+// counterfactual: re-costing the plan under infinite bandwidth isolates
+// the memory-bandwidth stall, then additionally lifting the frequency
+// to the scalar license isolates the AU license throttle; what remains
+// is the pure compute floor. Pure function of (plan, env, cost) — it
+// reads nothing mutable and writes nothing, so tracing cannot change
+// simulation results. Fractions are clamped to [0,1] and to a sum <= 1
+// so the charge-back always conserves the measured interval.
+func stallFractions(p llm.IterationPlan, env machine.Env, cost llm.IterationCost) (membw, throttle float64) {
+	if cost.TotalS <= 0 {
+		return 0, 0
+	}
+	envNoBW := env
+	envNoBW.BWGBs = math.Inf(1)
+	tNoBW := llm.CostIteration(p, envNoBW).TotalS
+	envNoThr := envNoBW
+	if s := env.Plat.License.Scalar; s > envNoThr.GHz {
+		envNoThr.GHz = s
+	}
+	tNoThr := llm.CostIteration(p, envNoThr).TotalS
+	membw = (cost.TotalS - tNoBW) / cost.TotalS
+	throttle = (tNoBW - tNoThr) / cost.TotalS
+	if membw < 0 {
+		membw = 0
+	}
+	if throttle < 0 {
+		throttle = 0
+	}
+	if sum := membw + throttle; sum > 1 {
+		membw /= sum
+		throttle /= sum
+	}
+	return membw, throttle
 }
 
 // CanQuiesce implements machine.Quiescer. A worker step is quiescent in

@@ -28,6 +28,8 @@ type TraceEvent struct {
 	Dur  float64            `json:"dur,omitempty"`
 	PID  int                `json:"pid"`
 	TID  int                `json:"tid"`
+	ID   int64              `json:"id,omitempty"`
+	BP   string             `json:"bp,omitempty"`
 	Args map[string]float64 `json:"args,omitempty"`
 }
 
@@ -76,6 +78,19 @@ func (t *Trace) Begin(name, cat string, pid, tid int, nowS float64) {
 // End closes the innermost open Begin on pid/tid.
 func (t *Trace) End(pid, tid int, nowS float64) {
 	t.push(TraceEvent{Ph: "E", Ts: nowS * usPerS, PID: pid, TID: tid})
+}
+
+// FlowStart opens a flow arrow (ph "s") at nowS on pid/tid; close it
+// with FlowEnd carrying the same id. The viewer draws an arrow between
+// the two points, linking work that moves across tracks.
+func (t *Trace) FlowStart(name, cat string, pid, tid int, nowS float64, id int64) {
+	t.push(TraceEvent{Name: name, Cat: cat, Ph: "s", Ts: nowS * usPerS, PID: pid, TID: tid, ID: id})
+}
+
+// FlowEnd terminates the flow arrow with binding point "e" (enclosing
+// slice), so the arrow lands on whatever span contains nowS.
+func (t *Trace) FlowEnd(name, cat string, pid, tid int, nowS float64, id int64) {
+	t.push(TraceEvent{Name: name, Cat: cat, Ph: "f", Ts: nowS * usPerS, PID: pid, TID: tid, ID: id, BP: "e"})
 }
 
 // Instant records a point-in-time marker.
@@ -138,7 +153,22 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	events := append([]TraceEvent(nil), t.events...)
 	names := append([]TraceEvent(nil), t.names...)
 	t.mu.Unlock()
-	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	// Equal-timestamp events tie-break on (PID, TID, Name) so exports
+	// from different worker widths — which buffer events in different
+	// orders — serialize to identical bytes.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
 
 	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]json.RawMessage, 0, len(events)+len(names))}
 	for _, m := range names {

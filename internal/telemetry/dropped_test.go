@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDroppedEventsExposition wraps the event ring past capacity and
+// asserts the overflow surfaces as the aum_telemetry_events_dropped_total
+// counter in the Prometheus exposition — the one signal that the event
+// stream is lossy and ring capacity needs raising.
+func TestDroppedEventsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aum_requests_total").Inc()
+	const emitted = DefaultEventCapacity + 904
+	for i := 0; i < emitted; i++ {
+		r.Emit(float64(i), "test", "tick")
+	}
+	s := r.Snapshot()
+	if s.DroppedEvents != 904 {
+		t.Fatalf("snapshot dropped = %d, want 904", s.DroppedEvents)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE aum_telemetry_events_dropped_total counter",
+		"aum_telemetry_events_dropped_total 904",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition with dropped-events counter does not validate: %v", err)
+	}
+
+	// Children wrap independently; the root sample is the tree-wide sum.
+	c := r.Child("noisy")
+	for i := 0; i < DefaultEventCapacity+96; i++ {
+		c.Emit(float64(i), "test", "tick")
+	}
+	if got := r.Snapshot().DroppedEvents; got != 1000 {
+		t.Fatalf("tree-wide dropped = %d, want 1000", got)
+	}
+}
+
+// TestDroppedEventsZero: a quiet registry must still expose the series,
+// at zero, so dashboards can alert on its rate without existence checks.
+func TestDroppedEventsZero(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("aum_x").Set(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aum_telemetry_events_dropped_total 0") {
+		t.Fatalf("zero dropped-events sample missing:\n%s", buf.String())
+	}
+}
+
+// TestValidatePrometheusRejectsDuplicates: duplicate HELP or TYPE lines
+// for one family are malformed exposition (a symptom of two writers
+// appending to one scrape body) and must be rejected.
+func TestValidatePrometheusRejectsDuplicates(t *testing.T) {
+	dupType := "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n"
+	if err := ValidatePrometheus(strings.NewReader(dupType)); err == nil {
+		t.Fatal("accepted duplicate TYPE lines")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate TYPE error is unclear: %v", err)
+	}
+	dupHelp := "# HELP x one\n# TYPE x counter\n# HELP x two\nx 1\n"
+	if err := ValidatePrometheus(strings.NewReader(dupHelp)); err == nil {
+		t.Fatal("accepted duplicate HELP lines")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate HELP error is unclear: %v", err)
+	}
+	// Same family, conflicting TYPE value: still a duplicate.
+	conflict := "# TYPE x counter\nx 1\n# TYPE x gauge\n"
+	if err := ValidatePrometheus(strings.NewReader(conflict)); err == nil {
+		t.Fatal("accepted conflicting duplicate TYPE")
+	}
+	if err := ValidatePrometheus(strings.NewReader("# HELP x one\n# TYPE x counter\nx 1\n")); err != nil {
+		t.Fatalf("rejected a single HELP/TYPE pair: %v", err)
+	}
+}

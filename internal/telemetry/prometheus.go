@@ -62,6 +62,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		fam, _ := splitName(g.Name)
 		add(fam, "gauge", sample{g.Name, formatFloat(g.Value)})
 	}
+	// Event-ring loss is part of the exposition so scrape consumers can
+	// see when the ring wrapped and events were overwritten.
+	add("aum_telemetry_events_dropped_total", "counter",
+		sample{"aum_telemetry_events_dropped_total", strconv.FormatUint(s.DroppedEvents, 10)})
 	for _, h := range s.Histograms {
 		fam, labels := splitName(h.Name)
 		cum := uint64(0)
@@ -103,6 +107,7 @@ func ValidatePrometheus(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	typed := make(map[string]string)
+	helped := make(map[string]bool)
 	lineNo := 0
 	samples := 0
 	for sc.Scan() {
@@ -117,7 +122,21 @@ func ValidatePrometheus(r io.Reader) error {
 				if m == nil {
 					return fmt.Errorf("telemetry: line %d: malformed TYPE line: %q", lineNo, line)
 				}
+				if _, dup := typed[m[1]]; dup {
+					return fmt.Errorf("telemetry: line %d: duplicate TYPE declaration for %q", lineNo, m[1])
+				}
 				typed[m[1]] = m[2]
+			}
+			if strings.HasPrefix(line, "# HELP ") {
+				rest := strings.TrimPrefix(line, "# HELP ")
+				fam := rest
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					fam = rest[:i]
+				}
+				if helped[fam] {
+					return fmt.Errorf("telemetry: line %d: duplicate HELP declaration for %q", lineNo, fam)
+				}
+				helped[fam] = true
 			}
 			continue
 		}

@@ -13,6 +13,7 @@ import (
 	"aum/internal/cluster"
 	"aum/internal/machine"
 	"aum/internal/platform"
+	"aum/internal/reqtrace"
 	"aum/internal/workload"
 )
 
@@ -98,5 +99,18 @@ func MeasureHotPaths() []HotPathBench {
 	// backoff, sample queue state, dispatch through the balancer.
 	failover := measureLoop("fleet_failover", 2_000, 50_000, cluster.FailoverBenchLoop())
 
-	return []HotPathBench{step, replay, failover}
+	// The per-token cost of the causal tracer's hottest hook: a live
+	// sampled record absorbing decode-token events. This is the marginal
+	// overhead every traced decode iteration pays (the alloc-budget
+	// tests hold it at zero allocations at steady state).
+	rt := reqtrace.New(reqtrace.Config{})
+	tid := reqtrace.MakeTraceID(0, 1)
+	rt.Submitted(tid, 0, 0)
+	rt.PrefillStart(tid, 0.1, 0)
+	rt.FirstToken(tid, 0.2, true, 0, 0, 0)
+	token := measureLoop("reqtrace_token", 2_000, 50_000, func() {
+		rt.Token(tid, 0.3, 0.1, true, 0.05, 0, 0)
+	})
+
+	return []HotPathBench{step, replay, failover, token}
 }
