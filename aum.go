@@ -36,12 +36,15 @@ package aum
 
 import (
 	"io"
+	"net"
+	"net/http"
 
 	"aum/internal/chaos"
 	"aum/internal/cluster"
 	"aum/internal/colo"
 	"aum/internal/core"
 	"aum/internal/experiments"
+	"aum/internal/gateway"
 	"aum/internal/llm"
 	"aum/internal/manager"
 	"aum/internal/platform"
@@ -377,6 +380,12 @@ var (
 	// records span trees, blame vectors, and SLO burn-rate timelines
 	// across the fleet (NewRequestTracer).
 	WithRequestTracing = cluster.WithRequestTracing
+	// WithSource replaces the synthetic arrival generator with a live
+	// request source (NewLiveSource) — the gateway injection path.
+	WithSource = cluster.WithSource
+	// WithAdmission bounds every machine's serving queue and backlog;
+	// rejected requests are shed (the gateway maps them to HTTP 429).
+	WithAdmission = cluster.WithAdmission
 )
 
 // NewTelemetryRegistry returns an empty metric/event registry to wire
@@ -496,3 +505,116 @@ func SetRequestTracingForced(on bool) { reqtrace.SetForced(on) }
 // series of a Prometheus exposition against the blame taxonomy (the
 // promcheck command's second pass).
 func ValidateBlameSeries(r io.Reader) error { return reqtrace.ValidateBlameSeries(r) }
+
+// The live serving gateway (DESIGN.md §13): an OpenAI-compatible HTTP
+// front-end whose completions are produced by a simulated fleet under
+// time-warp pacing — simulated time advances WarpFactor times wall
+// time, and every token is released at the wall instant its simulated
+// completion maps to.
+type (
+	// Gateway owns a live fleet session and serves the /v1 API from it
+	// (NewGateway / ServeGateway).
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes a Gateway (literal-struct form of
+	// NewGateway's options).
+	GatewayConfig = gateway.Config
+	// GatewayOption configures NewGateway.
+	GatewayOption = gateway.Option
+	// HTTPError is the shared JSON error envelope every aum HTTP
+	// endpoint answers errors with: {"error":{"type","message"}}.
+	HTTPError = gateway.HTTPError
+	// FleetSession is an open-ended fleet simulation stepped one
+	// barrier at a time (NewFleetSession) — what a Gateway drives.
+	FleetSession = cluster.Session
+	// LiveSource is a thread-safe arrival source fed by live callers
+	// instead of a synthetic generator (set FleetConfig.Source).
+	LiveSource = trace.LiveSource
+	// ArrivalSource is the request-source contract shared by the
+	// synthetic generator and LiveSource.
+	ArrivalSource = trace.Source
+	// RequestListener receives per-request completion callbacks from a
+	// RequestTracer (SetListener) — the gateway's resolution path.
+	RequestListener = reqtrace.Listener
+)
+
+// Error envelope types, matching OpenAI's taxonomy where one exists.
+const (
+	ErrTypeInvalidRequest = gateway.ErrInvalidRequest
+	ErrTypeNotFound       = gateway.ErrNotFound
+	ErrTypeRateLimit      = gateway.ErrRateLimit
+	ErrTypeOverloaded     = gateway.ErrOverloaded
+	ErrTypeUnavailable    = gateway.ErrUnavailable
+	ErrTypeMethod         = gateway.ErrMethod
+)
+
+// Simulated-latency response headers set by gateway completions.
+const (
+	HeaderSimulatedTTFT = gateway.HeaderTTFT
+	HeaderSimulatedTPOT = gateway.HeaderTPOT
+	HeaderWarpFactor    = gateway.HeaderWarp
+)
+
+// Gateway options for NewGateway. Each wraps the corresponding
+// GatewayConfig field; zero values keep the documented defaults.
+var (
+	// WithGatewayFleet sets the fleet the gateway serves from.
+	WithGatewayFleet = gateway.WithFleet
+	// WithWarpFactor sets simulated seconds per wall-clock second.
+	WithWarpFactor = gateway.WithWarpFactor
+	// WithGatewayMaxTokens caps per-request completion length.
+	WithGatewayMaxTokens = gateway.WithMaxTokens
+	// WithGatewayDegradedBelow sets the readiness degradation threshold.
+	WithGatewayDegradedBelow = gateway.WithDegradedBelow
+	// WithGatewayTelemetry attaches the registry receiving the
+	// aum_gateway_* series.
+	WithGatewayTelemetry = gateway.WithTelemetry
+)
+
+// NewGateway validates the options, builds a fleet session around a
+// live arrival source, and starts the time-warp driver. Mount
+// (*Gateway).Handler on a server, and Stop to retrieve the fleet
+// accounting.
+func NewGateway(opts ...GatewayOption) (*Gateway, error) { return gateway.New(opts...) }
+
+// NewGatewayFromConfig is the literal-struct form of NewGateway.
+func NewGatewayFromConfig(cfg GatewayConfig) (*Gateway, error) { return gateway.NewFromConfig(cfg) }
+
+// ServeGateway builds a gateway and serves its /v1 API on the
+// listener until the listener closes — the one-call form of
+// NewGateway + http.Serve.
+func ServeGateway(ln net.Listener, opts ...GatewayOption) error {
+	g, err := gateway.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer g.Stop()
+	return http.Serve(ln, g.Handler())
+}
+
+// NewFleetSession returns an open-ended fleet simulation: Step
+// advances one barrier, Now reports the simulated time reached, and
+// Finish closes the accounting window. Run is exactly NewFleetSession
+// + HorizonS/BarrierS steps + Finish.
+func NewFleetSession(cfg FleetConfig) (*FleetSession, error) { return cluster.NewSession(cfg) }
+
+// NewLiveSource returns an empty live arrival source to wire into
+// FleetConfig.Source (or WithSource).
+func NewLiveSource() *LiveSource { return trace.NewLiveSource() }
+
+// WriteHTTPError writes the shared JSON error envelope with the given
+// status and error type.
+func WriteHTTPError(w http.ResponseWriter, status int, typ, msg string) {
+	gateway.WriteError(w, status, typ, msg)
+}
+
+// HTTPNotFound is the catch-all handler answering unknown routes with
+// the shared 404 envelope instead of net/http's plain-text default.
+func HTTPNotFound(w http.ResponseWriter, r *http.Request) { gateway.NotFound(w, r) }
+
+// FleetDegraded reports whether the fleet-availability gauge in the
+// snapshot has sunk below the threshold, with a human-readable reason
+// — the single health source behind aumd's /v1/healthz and the
+// gateway readiness probe. A threshold <= 0 disables degradation.
+func FleetDegraded(s TelemetrySnapshot, below float64) (reason string, degraded bool) {
+	return gateway.FleetDegraded(s, below)
+}

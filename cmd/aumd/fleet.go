@@ -29,8 +29,8 @@ func runFleetDaemon(policyName string, duration, report float64, seed uint64, ht
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg, rt, degradedBelow)
+		fmt.Printf("aumd: telemetry on http://%s/v1/metrics\n", ln.Addr())
+		go serveTelemetry(ln, reg, rt, degradedBelow, nil)
 	}
 
 	nextAt := 0.0

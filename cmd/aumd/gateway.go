@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"aum"
+)
+
+// runGatewayDaemon serves the OpenAI-compatible API from a live
+// 4-machine fleet (two GenA, two GenB) advancing at -warp times wall
+// time. Unlike the other modes it is open-ended: the fleet session
+// keeps stepping and the daemon serves until interrupted. Everything
+// it prints comes from the telemetry registry, so the console and
+// /v1/metrics agree.
+func runGatewayDaemon(warp, report float64, seed uint64, httpAddr string, degradedBelow float64) {
+	if httpAddr == "" {
+		log.Fatal("aumd: -gateway needs -http to listen on")
+	}
+	platB, err := aum.PlatformByName("GenB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := aum.NewTelemetryRegistry()
+	nextAt := 0.0
+	g, err := aum.NewGateway(
+		aum.WithGatewayTelemetry(reg),
+		aum.WithGatewayFleet(aum.FleetConfig{
+			Machines: []aum.MachineSpec{
+				{Plat: aum.GenA(), Mgr: aum.NewExclusive()},
+				{Plat: aum.GenA(), Mgr: aum.NewExclusive()},
+				{Plat: platB, Mgr: aum.NewExclusive()},
+				{Plat: platB, Mgr: aum.NewExclusive()},
+			},
+			Admission: aum.Admission{MaxQueue: 64},
+			Seed:      seed,
+			// One status line per `report` wall seconds: the barrier
+			// callback runs on simulated time, which advances warp times
+			// faster than the wall clock.
+			Progress: func(now float64) {
+				if now >= nextAt {
+					nextAt = now + report*warp
+					fmt.Println(renderGatewayStatus(reg.Snapshot(), now))
+				}
+			},
+		}),
+		aum.WithWarpFactor(warp),
+		aum.WithGatewayDegradedBelow(degradedBelow),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aumd: gateway serving %s at warp x%g on http://%s/v1/chat/completions\n",
+		g.Model().Name, warp, ln.Addr())
+	serveTelemetry(ln, reg, g.Tracer(), degradedBelow, g)
+}
+
+// renderGatewayStatus formats one gateway status line purely from the
+// aum_gateway_* series of a registry snapshot.
+func renderGatewayStatus(s aum.TelemetrySnapshot, now float64) string {
+	inflight, _ := s.GaugeValue("aum_gateway_inflight")
+	ratio, _ := s.GaugeValue("aum_gateway_warp_ratio")
+	lag, _ := s.GaugeValue("aum_gateway_paced_release_lag_seconds")
+	reqs, _ := s.CounterValue("aum_gateway_requests_total")
+	shed, _ := s.CounterValue("aum_gateway_shed_total")
+	toks, _ := s.CounterValue("aum_gateway_tokens_released_total")
+	return fmt.Sprintf("sim=%7.1fs inflight=%2.0f warp=%6.1fx lag=%6.1fms reqs=%d shed=%d tokens=%d",
+		now, inflight, ratio, 1000*lag, reqs, shed, toks)
+}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -11,33 +10,101 @@ import (
 	"aum"
 )
 
-// serveTelemetry exposes the registry over HTTP for the lifetime of
-// the listener:
+// route is one row of the aumd route table: a versioned /v1 path, the
+// method it accepts ("" accepts any), its handler, and an optional
+// legacy (pre-/v1) alias answered with a 301 redirect so old scrape
+// configs keep working.
+type route struct {
+	method string
+	path   string
+	legacy string
+	h      http.HandlerFunc
+}
+
+// routeTable builds the complete versioned route set:
 //
-//	/metrics      Prometheus text exposition (0.0.4) of a fresh snapshot
-//	/events       the structured event ring as JSON, oldest first
-//	/requests     recent per-request causal traces (spans + blame), JSON
-//	/slo          fleet blame table and SLO burn-rate timeline, JSON
-//	/healthz      liveness + fleet availability probe
-//	/debug/pprof  Go runtime profiles (CPU, heap, goroutine, ...)
+//	GET  /v1/metrics           Prometheus text exposition (0.0.4)
+//	GET  /v1/events            the structured event ring as JSON
+//	GET  /v1/requests          recent per-request causal traces, JSON
+//	GET  /v1/slo               blame table and SLO burn-rate timeline
+//	GET  /v1/healthz           liveness + fleet availability probe
+//	POST /v1/chat/completions  OpenAI-compatible completion (-gateway)
+//	GET  /v1/models            the model zoo (-gateway)
 //
-// Every request snapshots the registry, so responses are internally
-// consistent even while the simulation is mutating metrics. The rt
-// tracer may be nil; /requests and /slo then serve empty reports.
-func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, rt *aum.RequestTracer, degradedBelow float64) {
+// plus a legacy alias for each pre-/v1 telemetry path. Every request
+// snapshots the registry, so responses are internally consistent even
+// while the simulation is mutating metrics. The rt tracer may be nil;
+// /v1/requests and /v1/slo then serve empty reports. gw is nil outside
+// -gateway mode; with a gateway its readiness probe (which folds in
+// the same availability threshold) replaces the plain healthz.
+func routeTable(reg *aum.TelemetryRegistry, rt *aum.RequestTracer, degradedBelow float64, gw *aum.Gateway) []route {
+	healthz := healthzHandler(reg, degradedBelow)
+	if gw != nil {
+		healthz = gw.ReadyHandler
+	}
+	routes := []route{
+		{method: http.MethodGet, path: "/v1/metrics", legacy: "/metrics", h: metricsHandler(reg)},
+		{method: http.MethodGet, path: "/v1/events", legacy: "/events", h: eventsHandler(reg)},
+		{method: http.MethodGet, path: "/v1/requests", legacy: "/requests", h: requestsHandler(rt)},
+		{method: http.MethodGet, path: "/v1/slo", legacy: "/slo", h: sloHandler(rt)},
+		{method: http.MethodGet, path: "/v1/healthz", legacy: "/healthz", h: healthz},
+	}
+	if gw != nil {
+		routes = append(routes,
+			route{method: http.MethodPost, path: "/v1/chat/completions", h: gw.ChatCompletionsHandler},
+			route{method: http.MethodGet, path: "/v1/models", h: gw.ModelsHandler},
+		)
+	}
+	return routes
+}
+
+// newMux mounts a route table: method guards answer 405 in the shared
+// error envelope, legacy aliases redirect with 301, unknown routes get
+// the 404 envelope, and the pprof endpoints ride along unversioned
+// (the Go tooling expects them at /debug/pprof).
+func newMux(routes []route) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, r := range routes {
+		r := r
+		mux.HandleFunc(r.path, func(w http.ResponseWriter, req *http.Request) {
+			if r.method != "" && req.Method != r.method {
+				aum.WriteHTTPError(w, http.StatusMethodNotAllowed, aum.ErrTypeMethod, "use "+r.method)
+				return
+			}
+			r.h(w, req)
+		})
+		if r.legacy != "" {
+			mux.Handle(r.legacy, http.RedirectHandler(r.path, http.StatusMovedPermanently))
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/", aum.HTTPNotFound)
+	return mux
+}
+
+// serveTelemetry serves the versioned route table over HTTP for the
+// lifetime of the listener. gw is nil outside -gateway mode.
+func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, rt *aum.RequestTracer, degradedBelow float64, gw *aum.Gateway) {
+	if err := http.Serve(ln, newMux(routeTable(reg, rt, degradedBelow, gw))); err != nil {
+		log.Printf("aumd: http server: %v", err)
+	}
+}
+
+func metricsHandler(reg *aum.TelemetryRegistry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := aum.WritePrometheus(w, reg.Snapshot()); err != nil {
-			log.Printf("aumd: /metrics: %v", err)
+			log.Printf("aumd: /v1/metrics: %v", err)
 		}
-	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+	}
+}
+
+func eventsHandler(reg *aum.TelemetryRegistry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		s := reg.Snapshot()
 		w.Header().Set("Content-Type", "application/json")
 		resp := struct {
@@ -48,10 +115,13 @@ func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, rt *aum.Request
 			resp.Events = []aum.ScopedEvent{}
 		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			log.Printf("aumd: /events: %v", err)
+			log.Printf("aumd: /v1/events: %v", err)
 		}
-	})
-	mux.HandleFunc("/requests", func(w http.ResponseWriter, _ *http.Request) {
+	}
+}
+
+func requestsHandler(rt *aum.RequestTracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		resp := struct {
 			Requests []aum.RequestTrace `json:"requests"`
@@ -60,37 +130,34 @@ func serveTelemetry(ln net.Listener, reg *aum.TelemetryRegistry, rt *aum.Request
 			resp.Requests = []aum.RequestTrace{}
 		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			log.Printf("aumd: /requests: %v", err)
+			log.Printf("aumd: /v1/requests: %v", err)
 		}
-	})
-	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+	}
+}
+
+func sloHandler(rt *aum.RequestTracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(rt.Report()); err != nil {
-			log.Printf("aumd: /slo: %v", err)
+			log.Printf("aumd: /v1/slo: %v", err)
 		}
-	})
-	mux.HandleFunc("/healthz", healthzHandler(reg, degradedBelow))
-	if err := http.Serve(ln, mux); err != nil {
-		log.Printf("aumd: http server: %v", err)
 	}
 }
 
 // healthzHandler answers the liveness probe. A plain single-machine
 // run always reports ok; a fleet run (the aum_fleet_availability
-// gauge is present) reports "degraded" with 503 once availability
-// drops below the threshold, so an orchestrator's health check sees
-// fleet-level outages, not just process liveness. A threshold <= 0
-// disables the degraded state.
+// gauge is present) reports degraded with 503 once availability drops
+// below the threshold, so an orchestrator's health check sees
+// fleet-level outages, not just process liveness. The comparison
+// lives in aum.FleetDegraded, shared with the gateway readiness
+// probe; a threshold <= 0 disables the degraded state.
 func healthzHandler(reg *aum.TelemetryRegistry, degradedBelow float64) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if degradedBelow > 0 {
-			if avail, ok := reg.Snapshot().GaugeValue("aum_fleet_availability"); ok && avail < degradedBelow {
-				w.WriteHeader(http.StatusServiceUnavailable)
-				fmt.Fprintf(w, "degraded: fleet availability %.4f below %.4f\n", avail, degradedBelow)
-				return
-			}
+		if reason, degraded := aum.FleetDegraded(reg.Snapshot(), degradedBelow); degraded {
+			aum.WriteHTTPError(w, http.StatusServiceUnavailable, aum.ErrTypeUnavailable, "degraded: "+reason)
+			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	}
 }

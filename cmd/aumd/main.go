@@ -9,16 +9,27 @@
 // registry (DESIGN.md §7): the serving SLO status, the current
 // processor division, the CAT/MBA grant chosen by the collision-aware
 // tuner, and the watchdog state. With -http the same registry is
-// served live over /metrics (Prometheus text), /events (JSON),
-// /requests and /slo (per-request causal traces and blame/burn-rate
-// reports, JSON), and /healthz for the duration of the run.
+// served live under the versioned /v1 prefix — /v1/metrics
+// (Prometheus text), /v1/events (JSON), /v1/requests and /v1/slo
+// (per-request causal traces and blame/burn-rate reports, JSON), and
+// /v1/healthz — for the duration of the run. The pre-/v1 paths answer
+// with 301 redirects, and every error is the shared JSON envelope
+// {"error":{"type","message"}}.
 //
 // With -fleet the daemon instead simulates a heterogeneous cluster
 // under the selected -policy, riding a QPS surge with the AUV-aware
-// autoscaler (DESIGN.md §8); the status line and /metrics then carry
-// the aum_fleet_* series:
+// autoscaler (DESIGN.md §8); the status line and /v1/metrics then
+// carry the aum_fleet_* series:
 //
 //	aumd -fleet -policy auv-aware -duration 30 -http 127.0.0.1:9090
+//
+// With -gateway the daemon becomes a live serving front-end
+// (DESIGN.md §13): an open-ended fleet session advances at -warp
+// times wall time and OpenAI-compatible completions are served from
+// it over POST /v1/chat/completions (SSE or JSON), with the model zoo
+// on GET /v1/models and readiness on /v1/healthz:
+//
+//	aumd -gateway -warp 100 -http 127.0.0.1:8080
 package main
 
 import (
@@ -116,14 +127,20 @@ func main() {
 		duration = flag.Float64("duration", 60, "simulated seconds")
 		report   = flag.Float64("report", 1, "status interval in seconds")
 		seed     = flag.Uint64("seed", 42, "root random seed")
-		httpAddr = flag.String("http", "", "serve /metrics, /events, /healthz on this address (e.g. 127.0.0.1:9090)")
+		httpAddr = flag.String("http", "", "serve the /v1 API on this address (e.g. 127.0.0.1:9090)")
 		watchdog = flag.Bool("watchdog", false, "enable the SLO watchdog safe mode")
 		degraded = flag.Float64("degraded-below", 0.95, "/healthz reports degraded (503) when fleet availability drops below this (<=0 disables)")
 		fleet    = flag.Bool("fleet", false, "run a heterogeneous fleet instead of one machine (no AUV model needed)")
 		policy   = flag.String("policy", "auv-aware", "fleet balance policy: round-robin | least-queued | auv-aware")
+		gwMode   = flag.Bool("gateway", false, "serve an OpenAI-compatible live gateway from a simulated fleet (requires -http)")
+		warp     = flag.Float64("warp", 100, "gateway time-warp: simulated seconds per wall-clock second")
 	)
 	flag.Parse()
 
+	if *gwMode {
+		runGatewayDaemon(*warp, *report, *seed, *httpAddr, *degraded)
+		return
+	}
 	if *fleet {
 		runFleetDaemon(*policy, *duration, *report, *seed, *httpAddr, *degraded)
 		return
@@ -163,8 +180,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("aumd: telemetry on http://%s/metrics\n", ln.Addr())
-		go serveTelemetry(ln, reg, rt, *degraded)
+		fmt.Printf("aumd: telemetry on http://%s/v1/metrics\n", ln.Addr())
+		go serveTelemetry(ln, reg, rt, *degraded, nil)
 	}
 
 	inner, err := aum.NewAUM(auv, aum.ControllerOptions{Watchdog: *watchdog, Telemetry: reg})

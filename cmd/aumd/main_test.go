@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -113,6 +114,96 @@ func TestHealthzDegraded(t *testing.T) {
 
 	if code, _ := probe(reg, 0); code != http.StatusOK {
 		t.Errorf("threshold disabled: %d, want 200", code)
+	}
+}
+
+// TestRouteTable pins the versioned API surface: every /v1 endpoint
+// answers directly, every legacy path is a 301 onto its /v1 twin,
+// unknown routes get the shared 404 envelope, and method guards
+// answer 405 in the same envelope.
+func TestRouteTable(t *testing.T) {
+	reg := aum.NewTelemetryRegistry()
+	rt := aum.NewRequestTracer(aum.ReqTraceConfig{Telemetry: reg})
+	srv := httptest.NewServer(newMux(routeTable(reg, rt, 0.95, nil)))
+	defer srv.Close()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	for _, p := range []string{"/v1/metrics", "/v1/events", "/v1/requests", "/v1/slo", "/v1/healthz"} {
+		resp, err := client.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p, resp.StatusCode)
+		}
+	}
+
+	for _, p := range []string{"/metrics", "/events", "/requests", "/slo", "/healthz"} {
+		resp, err := client.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMovedPermanently {
+			t.Errorf("GET %s = %d, want 301", p, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1"+p {
+			t.Errorf("GET %s redirects to %q, want %q", p, loc, "/v1"+p)
+		}
+	}
+
+	checkEnvelope := func(resp *http.Response, wantStatus int, wantType string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var env struct {
+			Error aum.HTTPError `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("error body is not the JSON envelope: %v", err)
+		}
+		if env.Error.Type != wantType || env.Error.Message == "" {
+			t.Fatalf("envelope = %+v, want type %q with a message", env.Error, wantType)
+		}
+	}
+
+	resp, err := client.Get(srv.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(resp, http.StatusNotFound, aum.ErrTypeNotFound)
+
+	resp, err = client.Post(srv.URL+"/v1/metrics", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(resp, http.StatusMethodNotAllowed, aum.ErrTypeMethod)
+}
+
+// TestHealthzEnvelope pins the degraded 503 to the shared envelope
+// (type service_unavailable), the satellite-6 contract shared with
+// the gateway readiness probe.
+func TestHealthzEnvelope(t *testing.T) {
+	reg := aum.NewTelemetryRegistry()
+	reg.Gauge("aum_fleet_availability").Set(0.5)
+	rec := httptest.NewRecorder()
+	healthzHandler(reg, 0.95)(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	var env struct {
+		Error aum.HTTPError `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatalf("degraded body is not the JSON envelope: %v", err)
+	}
+	if env.Error.Type != aum.ErrTypeUnavailable {
+		t.Fatalf("envelope type %q, want %q", env.Error.Type, aum.ErrTypeUnavailable)
 	}
 }
 

@@ -18,21 +18,14 @@
 package cluster
 
 import (
-	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"aum/internal/colo"
 	"aum/internal/llm"
 	"aum/internal/machine"
-	"aum/internal/metrics"
-	"aum/internal/perfmon"
 	"aum/internal/platform"
-	"aum/internal/rdt"
 	"aum/internal/reqtrace"
-	"aum/internal/rng"
-	"aum/internal/runner"
 	"aum/internal/serve"
 	"aum/internal/telemetry"
 	"aum/internal/trace"
@@ -118,6 +111,16 @@ type Config struct {
 	// takes effect at the first barrier at or after its At. RatePerS
 	// is the rate before the first point.
 	QPS []RatePoint
+	// Source, when set, replaces the synthetic arrival generator with
+	// an external feed (trace.NewLiveSource) — the serving gateway's
+	// injection point. Requires a single scenario class; RatePerS/QPS
+	// then only shape telemetry, not arrivals (a live source ignores
+	// SetRate).
+	Source trace.Source
+	// Admission bounds every engine's queues under overload
+	// (serve.Admission); the zero value admits everything. The gateway
+	// maps sheds onto HTTP 429.
+	Admission serve.Admission
 	// Autoscale, when set, lets the fleet add and drain machines
 	// against the offered rate. Requires an all-RoleMixed single-class
 	// fleet; Standby machines form the pool.
@@ -178,6 +181,13 @@ func WithRate(perS float64) Option { return func(c *Config) { c.RatePerS = perS 
 func WithQPS(points ...RatePoint) Option {
 	return func(c *Config) { c.QPS = append(c.QPS, points...) }
 }
+
+// WithSource replaces the synthetic arrival generator with a live
+// external feed.
+func WithSource(src trace.Source) Option { return func(c *Config) { c.Source = src } }
+
+// WithAdmission sets the fleet-wide engine overload policy.
+func WithAdmission(a serve.Admission) Option { return func(c *Config) { c.Admission = a } }
 
 // WithAutoscale enables the AUV-aware autoscaler.
 func WithAutoscale(a AutoscaleConfig) Option { return func(c *Config) { c.Autoscale = &a } }
@@ -349,6 +359,18 @@ func (c Config) withDefaults() (Config, error) {
 			return c, vcfg.Bad(pkg, fmt.Sprintf("Config.QPS[%d].RatePerS", i), p.RatePerS, "> 0")
 		}
 		prev = p.At
+	}
+	if c.Admission.MaxQueue < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.MaxQueue", c.Admission.MaxQueue, ">= 0 (0 = unbounded)")
+	}
+	if c.Admission.MaxHeadWait < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.MaxHeadWait", c.Admission.MaxHeadWait, ">= 0 seconds (0 = disabled)")
+	}
+	if c.Admission.QueueDeadline < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.QueueDeadline", c.Admission.QueueDeadline, ">= 0 seconds (0 = no deadline)")
+	}
+	if c.Source != nil && len(classes) > 1 {
+		return c, vcfg.Bad(pkg, "Config.Source", len(classes), "a single scenario class (a live source feeds one class)")
 	}
 	var err error
 	if c.Link, err = c.Link.withDefaults(); err != nil {
@@ -568,391 +590,21 @@ type NodeResult struct {
 	Crashes    int
 }
 
+// run executes the offline path: build the session, step it through
+// every barrier of the horizon, and close the accounting window at the
+// horizon — statement-for-statement the loop this function always ran.
 func run(cfg Config) (Result, error) {
-	classes, classOf := scenarioClasses(cfg)
-	gamma := 0.0
-	if cfg.BE != nil {
-		gamma = cfg.BE.RevenuePrice
+	s, err := newSession(cfg)
+	if err != nil {
+		return Result{}, err
 	}
-
-	// Request tracing: honor an explicit tracer, or — when forced for a
-	// neutrality check — construct a private one so the hooks execute
-	// without any caller opting in. The private tracer is never exported,
-	// so output stays byte-identical (reqtrace's determinism contract).
-	rt := cfg.ReqTrace
-	if rt == nil && reqtrace.Forced() {
-		rt = reqtrace.New(reqtrace.Config{})
-	}
-
-	nodes := make([]*node, len(cfg.Machines))
-	for i, spec := range cfg.Machines {
-		scen := classes[classOf[i]]
-		m := machine.New(spec.Plat)
-		mon := perfmon.NewMonitor(256)
-		mon.Attach(m)
-		var scope *telemetry.Registry
-		if cfg.Telemetry != nil {
-			scope = cfg.Telemetry.Child(fmt.Sprintf("m%02d", i))
-		}
-		m.SetTelemetry(scope)
-		n := &node{name: fmt.Sprintf("%s-%d", spec.Plat.Name, i), spec: spec, class: classOf[i]}
-		engCfg := serve.Config{Model: cfg.Model, SLO: scen.SLO, Telemetry: scope,
-			ReqTrace: rt, Node: i}
-		if spec.Role == RolePrefill {
-			engCfg.Handoff = func(r *serve.Request, now float64) {
-				n.exports = append(n.exports, export{req: r, readyAt: now})
-			}
-		}
-		env := &colo.Env{
-			Plat: spec.Plat, M: m, RDT: rdt.New(m),
-			Engine: serve.NewEngine(engCfg), Scen: scen, Mon: mon,
-		}
-		env.RDT.SetTelemetry(scope)
-		if cfg.BE != nil {
-			env.BEApp = workload.New(*cfg.BE, rng.Derive(cfg.Seed, uint64(i)).Uint64())
-		}
-		if err := spec.Mgr.Setup(env); err != nil {
-			return Result{}, fmt.Errorf("cluster: %s setup: %w", n.name, err)
-		}
-		if env.PrefillID == 0 || env.DecodeID == 0 {
-			return Result{}, fmt.Errorf("cluster: %s manager placed no LLM", n.name)
-		}
-		n.env = env
-		n.capacity = requestCapacity(spec.Plat, cfg.Model, scen)
-		n.nextTick = spec.Mgr.Interval()
-		n.state = stateActive
-		if spec.Standby {
-			n.state = stateStandby
-		}
-		n.gState = scope.Gauge("aum_fleet_node_state")
-		nodes[i] = n
-	}
-
-	// One generator per scenario class, each on its own derived stream;
-	// a rate change rescales every class by its default-rate share.
-	gens := make([]*trace.Generator, len(classes))
-	shares := make([]float64, len(classes))
-	var shareSum float64
-	for k := range classes {
-		gens[k] = trace.NewGenerator(classes[k], rng.Derive(cfg.Seed, 1000+uint64(k)).Uint64())
-		shares[k] = classes[k].RatePerS
-		shareSum += classes[k].RatePerS
-	}
-	setRate := func(aggregate float64) {
-		for k, g := range gens {
-			g.SetRate(aggregate * shares[k] / shareSum)
-		}
-	}
-
-	gActive := cfg.Telemetry.Gauge("aum_fleet_active_machines")
-	gPowered := cfg.Telemetry.Gauge("aum_fleet_powered_machines")
-	gRate := cfg.Telemetry.Gauge("aum_fleet_offered_rate_per_s")
-	gQueue := cfg.Telemetry.Gauge("aum_fleet_queue_len")
-	gUtil := cfg.Telemetry.Gauge("aum_fleet_utilization")
-	gAvail := cfg.Telemetry.Gauge("aum_fleet_availability")
-	cRouted := cfg.Telemetry.Counter("aum_fleet_requests_routed_total")
-	cHandoffs := cfg.Telemetry.Counter("aum_fleet_handoffs_total")
-	cScale := cfg.Telemetry.Counter("aum_fleet_scale_events_total")
-
-	bal := newBalancer(cfg.Policy, len(nodes))
-	link := newKVLink(cfg.Link, len(nodes))
-	var scaler *autoscaler
-	if cfg.Autoscale != nil {
-		scaler = &autoscaler{cfg: *cfg.Autoscale}
-	}
-	var fe *faultEngine
-	if cfg.Faults != nil {
-		var err error
-		if fe, err = newFaultEngine(cfg); err != nil {
-			return Result{}, err
-		}
-		fe.rt = rt
-	}
-	var events []ScaleEvent
-
-	ctx := context.Background()
-	ropt := runner.Options{Workers: cfg.Workers, Seed: cfg.Seed}
 	barriers := int(math.Round(cfg.HorizonS / cfg.BarrierS))
-	steps := int(math.Round(cfg.BarrierS / cfg.DT))
-	rate := cfg.RatePerS
-	qpsIdx := 0
-	shed := 0
-	var routable []int
-
 	for bi := 0; bi < barriers; bi++ {
-		start := float64(bi) * cfg.BarrierS
-		end := float64(bi+1) * cfg.BarrierS
-		if scaler != nil {
-			// By construction the autoscaler's next event is the next
-			// barrier, so this min never shortens the epoch; it keeps
-			// the event-source contract (DESIGN.md §9) explicit.
-			end = math.Min(end, scaler.nextEventAt(end))
-		}
-		if fe != nil {
-			// Same contract: faults quantize to barriers, so the fault
-			// engine's next event is the next barrier too.
-			end = math.Min(end, fe.nextEventAt(end))
-		}
-
-		for qpsIdx < len(cfg.QPS) && cfg.QPS[qpsIdx].At <= start+1e-9 {
-			rate = cfg.QPS[qpsIdx].RatePerS
-			qpsIdx++
-		}
-		setRate(rate)
-
-		// Fleet faults strike before any routing or scaling decision, so
-		// the rest of the barrier already sees the post-fault health
-		// states — a crashed node takes no arrivals this barrier.
-		if fe != nil {
-			fe.apply(start, cfg, nodes, link)
-		}
-
-		// Lifecycle transitions, then this barrier's scaling decision.
-		for _, n := range nodes {
-			if n.state == stateWarming && start >= n.activeAt-1e-9 {
-				n.state = stateActive
-				events = append(events, ScaleEvent{At: start, Machine: n.name, Action: "active"})
-			}
-		}
-		if scaler != nil {
-			before := len(events)
-			scaler.observe(start, rate, nodes, &events)
-			cScale.Add(uint64(len(events) - before))
-		}
-		for _, n := range nodes {
-			if n.state == stateDraining && n.env.Engine.Idle() && n.undelivered() == 0 {
-				n.state = stateStandby
-				events = append(events, ScaleEvent{At: start, Machine: n.name, Action: "offline"})
-			}
-		}
-
-		// Route this barrier's arrivals, class by class. Matured retries
-		// go first so their (older) arrival times stay ahead of fresh
-		// traffic in each node's inbox.
-		bal.sample(nodes)
-		queued := 0
-		for i := range nodes {
-			queued += bal.qlen[i]
-		}
-		if fe != nil {
-			fe.dispatchDue(start, nodes, bal)
-		}
-		for k, g := range gens {
-			arrivals := g.Emit(start, cfg.BarrierS)
-			if len(arrivals) == 0 {
-				continue
-			}
-			routable = routableNodes(nodes, k, routable[:0])
-			if len(routable) == 0 {
-				shed += len(arrivals)
-				continue
-			}
-			for _, r := range arrivals {
-				if rt != nil {
-					r.TraceID = reqtrace.MakeTraceID(k, r.ID)
-				}
-				i := bal.pick(k, nodes, routable)
-				nodes[i].inbox = append(nodes[i].inbox, r)
-				nodes[i].requests++
-			}
-			cRouted.Add(uint64(len(arrivals)))
-		}
-
-		// Step every machine one epoch, concurrently. runner.Map's
-		// index-ordered collection makes the merge order — and hence
-		// the whole simulation — independent of the worker width.
-		if _, err := runner.Map(ctx, len(nodes), ropt,
-			func(_ context.Context, i int, _ *rng.Stream) (struct{}, error) {
-				return struct{}{}, stepEpoch(cfg, nodes[i], start, steps)
-			}); err != nil {
+		if err := s.step(); err != nil {
 			return Result{}, err
 		}
-
-		// Merge, in machine-index order: charge each prefill export's
-		// KV transfer on the link and schedule its delivery at the
-		// least-loaded decode machine, no earlier than the next barrier.
-		for i, n := range nodes {
-			if len(n.exports) == 0 {
-				continue
-			}
-			for _, ex := range n.exports {
-				if fe != nil && n.linkDown {
-					// The source's egress is partitioned: the KV pages
-					// cannot ship, so the prefill is recomputed elsewhere
-					// (charged honestly through the retry path).
-					fe.recomputed++
-					fe.cRecomputed.Inc()
-					rt.CrashLost(ex.req.TraceID, end, i)
-					fe.scheduleRetry(end, ex.req, n.class)
-					continue
-				}
-				tgt := pickDecodeTarget(nodes, n.class, i)
-				if tgt < 0 {
-					if fe != nil {
-						// No surviving sink right now: retry rather than
-						// drop — capacity may recover.
-						fe.recomputed++
-						fe.cRecomputed.Inc()
-						rt.CrashLost(ex.req.TraceID, end, i)
-						fe.scheduleRetry(end, ex.req, n.class)
-						continue
-					}
-					ex.req.Done = true
-					shed++
-					continue
-				}
-				bytes := cfg.Model.KVBytesPerToken() * float64(ex.req.PromptLen)
-				done := link.transfer(i, ex.readyAt, bytes)
-				if done < end {
-					done = end
-				}
-				t := nodes[tgt]
-				t.pending = append(t.pending, handoff{req: ex.req, src: i, deliverAt: done})
-				t.handRecv++
-			}
-			cHandoffs.Add(uint64(len(n.exports)))
-			n.exports = n.exports[:0]
-		}
-		// Interleaved sources can append out of order; keep the
-		// undelivered tail sorted by (deliverAt, ID).
-		for _, n := range nodes {
-			tail := n.pending[n.handIdx:]
-			if len(tail) > 1 {
-				sort.SliceStable(tail, func(a, b int) bool {
-					if tail[a].deliverAt != tail[b].deliverAt {
-						return tail[a].deliverAt < tail[b].deliverAt
-					}
-					return tail[a].req.ID < tail[b].req.ID
-				})
-			}
-		}
-
-		active, powered, capacity := 0, 0, 0.0
-		upSum, downSum := 0.0, 0.0
-		for _, n := range nodes {
-			n.gState.Set(float64(n.state))
-			switch n.state {
-			case stateActive:
-				active++
-				n.upS += cfg.BarrierS
-			case stateDraining:
-				n.upS += cfg.BarrierS
-			case stateSuspect, stateDown:
-				// Off the power rail: an outage second, no powered time.
-				n.downtimeS += cfg.BarrierS
-			case stateRecovering:
-				// Rebooting: burns power (counted below) but is still an
-				// outage second for availability.
-				n.downtimeS += cfg.BarrierS
-			}
-			if n.state != stateStandby && !n.dead() {
-				powered++
-				capacity += n.capacity
-				n.activeS += cfg.BarrierS
-			}
-			upSum += n.upS
-			downSum += n.downtimeS
-		}
-		gActive.Set(float64(active))
-		gPowered.Set(float64(powered))
-		gRate.Set(rate)
-		gQueue.Set(float64(queued))
-		if capacity > 0 {
-			gUtil.Set(rate / capacity)
-		}
-		avail := 1.0
-		if downSum > 0 {
-			avail = upSum / (upSum + downSum)
-		}
-		gAvail.Set(avail)
-		rt.Publish()
-		if cfg.Progress != nil {
-			cfg.Progress(end)
-		}
 	}
-
-	rt.Publish()
-	if cfg.ReqTrace != nil {
-		cfg.ReqTrace.ExportChrome(cfg.Trace)
-	}
-
-	// Fleet accounting: per-node post-warmup deltas, summed.
-	elapsed := cfg.HorizonS - cfg.WarmupS
-	res := Result{Policy: cfg.Policy.String(), Nodes: len(nodes), Unrouted: shed}
-	var prefills, ttftMet, tokMet, tokAll float64
-	var counts []int
-	for _, n := range nodes {
-		n.maybeSnapshot(cfg.WarmupS, cfg.HorizonS) // no-op unless never crossed
-		st := n.env.Engine.Stats()
-		d := func(a, b float64) float64 { return (a - b) / elapsed }
-		perfH := d(st.GuaranteedPrefillTokens, n.baseStats.GuaranteedPrefillTokens)
-		perfL := d(st.TPOTMet, n.baseStats.TPOTMet)
-		watts := (n.env.M.EnergyJ() - n.baseEnergy) / elapsed
-		res.PerfH += perfH
-		res.PerfL += perfL
-		res.Watts += watts
-		if n.env.BEID != 0 {
-			cur, _ := n.env.M.Stats(n.env.BEID)
-			res.PerfN += cur.Sub(n.baseBE).Work / elapsed
-		}
-		res.GoodTokensPS += d(st.GuaranteedTokens, n.baseStats.GuaranteedTokens)
-		prefills += float64(st.PrefillRequests - n.baseStats.PrefillRequests)
-		ttftMet += float64(st.TTFTMetScaled - n.baseStats.TTFTMetScaled)
-		tokAll += st.DecodeTokens - n.baseStats.DecodeTokens
-		tokMet += st.TPOTMet - n.baseStats.TPOTMet
-		res.MachineSecondsActive += n.activeS
-		if n.spec.Role != RoleDecode && !n.spec.Standby {
-			counts = append(counts, n.requests)
-		}
-		res.PerNode = append(res.PerNode, NodeResult{
-			Name: n.name, Role: n.spec.Role.String(), State: n.state.String(),
-			Requests: n.requests, HandoffsIn: n.handRecv,
-			PerfH: perfH, PerfL: perfL, Watts: watts, ActiveS: n.activeS,
-			DowntimeS: n.downtimeS, Crashes: n.crashes,
-		})
-	}
-	if prefills > 0 {
-		res.TTFTGuar = ttftMet / prefills
-	}
-	if tokAll > 0 {
-		res.TPOTGuar = tokMet / tokAll
-	}
-	res.Eff = metrics.Efficiency(metrics.DefaultPrices(gamma), res.PerfH, res.PerfL, res.PerfN, res.Watts)
-	res.Imbalance = coefficientOfVariation(counts)
-	res.Handoffs = link.count
-	res.KVBytes = link.bytes
-	if link.count > 0 {
-		res.MeanKVDelayS = link.delaySum / float64(link.count)
-	}
-	res.ScaleEvents = events
-	res.Availability = 1
-	var upSum, downSum float64
-	for _, n := range nodes {
-		upSum += n.upS
-		downSum += n.downtimeS
-	}
-	if downSum > 0 {
-		res.Availability = upSum / (upSum + downSum)
-	}
-	var ttfts []float64
-	for _, n := range nodes {
-		ttfts = append(ttfts, n.env.Engine.Stats().RecentTTFTs()...)
-	}
-	res.TTFTp99 = perfmon.Percentile(ttfts, 99)
-	if fe != nil {
-		res.Crashes = fe.crashes
-		res.Outages = fe.outages
-		if fe.outages > 0 {
-			res.MTTRs = fe.mttrSum / float64(fe.outages)
-		}
-		res.Retried = fe.retried
-		res.Redispatched = fe.redispatched
-		res.Recomputed = fe.recomputed
-		res.KVRerouted = fe.rerouted
-		res.FailedRequests = fe.failed
-		res.HealthEvents = fe.events
-	}
-	return res, nil
+	return s.finishAt(cfg.HorizonS)
 }
 
 // stepEpoch advances one machine through [start, start+steps*DT),

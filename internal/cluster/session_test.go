@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"aum/internal/manager"
+	"aum/internal/platform"
+	"aum/internal/serve"
+	"aum/internal/trace"
+)
+
+func sessionTestConfig() Config {
+	return Config{
+		Machines: []MachineSpec{
+			{Plat: platform.GenA(), Mgr: manager.AllAU{}},
+			{Plat: platform.GenB(), Mgr: manager.AllAU{}},
+		},
+		HorizonS: 6, WarmupS: 1, RatePerS: 2,
+	}
+}
+
+// TestSessionMatchesRun pins the factoring contract: stepping a
+// Session through every barrier and finishing at the horizon is the
+// same computation Run performs, bit for bit.
+func TestSessionMatchesRun(t *testing.T) {
+	cfg := sessionTestConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Config()
+	barriers := int(math.Round(v.HorizonS / v.BarrierS))
+	for i := 0; i < barriers; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now := s.Now(); math.Abs(now-v.HorizonS) > 1e-9 {
+		t.Fatalf("Now() = %g after all barriers, want %g", now, v.HorizonS)
+	}
+	got, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PerfH != want.PerfH || got.PerfL != want.PerfL || got.Watts != want.Watts ||
+		got.Eff != want.Eff || got.GoodTokensPS != want.GoodTokensPS {
+		t.Fatalf("session result diverges from Run:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.PerNode) != len(want.PerNode) {
+		t.Fatalf("PerNode length %d != %d", len(got.PerNode), len(want.PerNode))
+	}
+	for i := range got.PerNode {
+		if got.PerNode[i] != want.PerNode[i] {
+			t.Fatalf("PerNode[%d]: got %+v want %+v", i, got.PerNode[i], want.PerNode[i])
+		}
+	}
+}
+
+// TestSessionOpenEnded checks a Session keeps stepping past the
+// configured horizon — the gateway's open-ended contract.
+func TestSessionOpenEnded(t *testing.T) {
+	cfg := sessionTestConfig()
+	cfg.HorizonS = 2
+	cfg.WarmupS = 0.5
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Config()
+	barriers := int(math.Round(3 * v.HorizonS / v.BarrierS))
+	for i := 0; i < barriers; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now := s.Now(); now <= v.HorizonS {
+		t.Fatalf("Now() = %g, want past the %g horizon", now, v.HorizonS)
+	}
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 2 {
+		t.Fatalf("Nodes = %d, want 2", res.Nodes)
+	}
+}
+
+// TestSessionLiveSource drives a fleet entirely from a LiveSource and
+// checks submitted requests are routed.
+func TestSessionLiveSource(t *testing.T) {
+	src := trace.NewLiveSource()
+	cfg := sessionTestConfig()
+	cfg.Source = src
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Submit(0.01, 64, 4)
+	src.Submit(0.02, 64, 4)
+	for i := 0; i < 40; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for _, n := range res.PerNode {
+		routed += n.Requests
+	}
+	if routed != 2 {
+		t.Fatalf("routed %d live requests, want 2", routed)
+	}
+}
+
+func TestSessionSourceRequiresSingleClass(t *testing.T) {
+	cc := trace.CodeCompletion()
+	cfg := sessionTestConfig()
+	cfg.Machines[1].Scen = &cc
+	cfg.Source = trace.NewLiveSource()
+	if _, err := NewSession(cfg); err == nil {
+		t.Fatal("two scenario classes with a live source validated; want error")
+	}
+}
+
+func TestAdmissionValidation(t *testing.T) {
+	cfg := sessionTestConfig()
+	cfg.Admission = serve.Admission{MaxQueue: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative Admission.MaxQueue validated; want error")
+	}
+	cfg = sessionTestConfig()
+	cfg.Admission = serve.Admission{MaxHeadWait: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative Admission.MaxHeadWait validated; want error")
+	}
+	cfg = sessionTestConfig()
+	cfg.Admission = serve.Admission{QueueDeadline: -0.5}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative Admission.QueueDeadline validated; want error")
+	}
+	// Negative MaxBacklog stays legal: it means unbounded.
+	cfg = sessionTestConfig()
+	cfg.Admission = serve.Admission{MaxBacklog: -1}
+	if _, err := cfg.withDefaults(); err != nil {
+		t.Fatalf("MaxBacklog -1 (unbounded) rejected: %v", err)
+	}
+}

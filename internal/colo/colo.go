@@ -163,6 +163,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
+	if c.Admission.MaxQueue < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.MaxQueue", c.Admission.MaxQueue, ">= 0 (0 = unbounded)")
+	}
+	if c.Admission.MaxHeadWait < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.MaxHeadWait", c.Admission.MaxHeadWait, ">= 0 seconds (0 = disabled)")
+	}
+	if c.Admission.QueueDeadline < 0 {
+		return c, vcfg.Bad(pkg, "Config.Admission.QueueDeadline", c.Admission.QueueDeadline, ">= 0 seconds (0 = no deadline)")
+	}
 	return c, nil
 }
 

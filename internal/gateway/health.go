@@ -1,0 +1,25 @@
+package gateway
+
+import (
+	"fmt"
+
+	"aum/internal/telemetry"
+)
+
+// FleetDegraded is the single health source shared by aumd's
+// /v1/healthz and the gateway readiness probe: it reports whether the
+// fleet-availability gauge in the snapshot has sunk below the
+// threshold, with a human-readable reason. A threshold <= 0 disables
+// the degraded state; a snapshot without the gauge (single-machine
+// runs) is never degraded. Folding the comparison here keeps the two
+// probes from drifting apart.
+func FleetDegraded(s telemetry.Snapshot, below float64) (reason string, degraded bool) {
+	if below <= 0 {
+		return "", false
+	}
+	avail, ok := s.GaugeValue("aum_fleet_availability")
+	if !ok || avail >= below {
+		return "", false
+	}
+	return fmt.Sprintf("fleet availability %.4f below %.4f", avail, below), true
+}

@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTPError is the shared JSON error envelope, OpenAI-compatible in
+// shape: {"error":{"type":...,"message":...}}. Every aumd and gateway
+// handler answers errors with it.
+type HTTPError struct {
+	Type    string `json:"type"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error HTTPError `json:"error"`
+}
+
+// Error type strings, matching OpenAI's taxonomy where one exists.
+const (
+	ErrInvalidRequest = "invalid_request_error"
+	ErrNotFound       = "not_found_error"
+	ErrRateLimit      = "rate_limit_exceeded"
+	ErrOverloaded     = "overloaded_error"
+	ErrUnavailable    = "service_unavailable"
+	ErrMethod         = "method_not_allowed"
+)
+
+// WriteError writes the shared error envelope with the given status.
+func WriteError(w http.ResponseWriter, status int, typ, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: HTTPError{Type: typ, Message: msg}})
+}
+
+// NotFound is the catch-all handler for unknown routes: a 404 in the
+// shared envelope instead of net/http's plain-text default.
+func NotFound(w http.ResponseWriter, r *http.Request) {
+	WriteError(w, http.StatusNotFound, ErrNotFound, "no such route: "+r.URL.Path)
+}
+
+// Handler returns the gateway's standalone route set:
+//
+//	POST /v1/chat/completions   OpenAI-compatible completion (SSE or JSON)
+//	GET  /v1/models             the model zoo
+//	GET  /v1/healthz            readiness (503 until the first barrier)
+//
+// cmd/aumd mounts these same handlers into its versioned route table
+// next to the telemetry endpoints.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", g.ChatCompletionsHandler)
+	mux.HandleFunc("/v1/models", g.ModelsHandler)
+	mux.HandleFunc("/v1/healthz", g.ReadyHandler)
+	mux.HandleFunc("/", NotFound)
+	return mux
+}
+
+// ReadyHandler answers the gateway readiness probe: 503 with the
+// error envelope until the fleet completes its first barrier, 503
+// when fleet availability has sunk below the degradation threshold
+// (the same helper aumd's /v1/healthz uses — satellite of DESIGN.md
+// §13), and "ok" otherwise.
+func (g *Gateway) ReadyHandler(w http.ResponseWriter, _ *http.Request) {
+	if !g.Ready() {
+		WriteError(w, http.StatusServiceUnavailable, ErrUnavailable,
+			"starting: fleet has not completed its first barrier")
+		return
+	}
+	if reason, degraded := FleetDegraded(g.reg.Snapshot(), g.cfg.DegradedBelow); degraded {
+		WriteError(w, http.StatusServiceUnavailable, ErrUnavailable, "degraded: "+reason)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,353 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"aum/internal/llm"
+)
+
+// OpenAI-compatible wire types (the subset the gateway understands;
+// unknown request fields are ignored, matching upstream behavior).
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+type chatRequest struct {
+	Model    string        `json:"model"`
+	Messages []chatMessage `json:"messages"`
+	Stream   bool          `json:"stream"`
+	// MaxTokens is the classic field; MaxCompletionTokens the current
+	// one. The larger API surface maps both onto OutputLen.
+	MaxTokens           int `json:"max_tokens"`
+	MaxCompletionTokens int `json:"max_completion_tokens"`
+}
+
+type chatUsage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+type chatChoice struct {
+	Index        int          `json:"index"`
+	Message      *chatMessage `json:"message,omitempty"`
+	Delta        *chatMessage `json:"delta,omitempty"`
+	FinishReason *string      `json:"finish_reason"`
+}
+
+type chatCompletion struct {
+	ID      string       `json:"id"`
+	Object  string       `json:"object"`
+	Created int64        `json:"created"`
+	Model   string       `json:"model"`
+	Choices []chatChoice `json:"choices"`
+	Usage   *chatUsage   `json:"usage,omitempty"`
+}
+
+// Simulated response headers/trailers: the emulated latencies a load
+// generator should compare its wall-clock observations against.
+const (
+	HeaderTTFT = "X-Aum-Simulated-Ttft-Seconds"
+	HeaderTPOT = "X-Aum-Simulated-Tpot-Seconds"
+	HeaderWarp = "X-Aum-Warp-Factor"
+)
+
+// fillerWords is the deterministic placeholder stream standing in for
+// model output: token i is fillerWords[i mod len].
+var fillerWords = []string{
+	"the", "simulated", "fleet", "serves", "this", "completion",
+	"token", "by", "token", "on", "an", "emulated", "schedule",
+	"with", "no", "accelerator", "attached",
+}
+
+func tokenText(i int) string {
+	w := fillerWords[i%len(fillerWords)]
+	if i == 0 {
+		return w
+	}
+	return " " + w
+}
+
+// estimatePromptTokens maps chat messages onto a prompt length with
+// the ~4 chars/token heuristic, clamped to [1, max].
+func estimatePromptTokens(msgs []chatMessage, max int) int {
+	chars := 0
+	for _, m := range msgs {
+		chars += len(m.Role) + len(m.Content)
+	}
+	n := chars / 4
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// ModelsHandler serves GET /v1/models from the model zoo.
+func (g *Gateway) ModelsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, http.StatusMethodNotAllowed, ErrMethod, "use GET")
+		return
+	}
+	type modelEntry struct {
+		ID      string `json:"id"`
+		Object  string `json:"object"`
+		Created int64  `json:"created"`
+		OwnedBy string `json:"owned_by"`
+	}
+	resp := struct {
+		Object string       `json:"object"`
+		Data   []modelEntry `json:"data"`
+	}{Object: "list"}
+	for _, m := range llm.Zoo() {
+		resp.Data = append(resp.Data, modelEntry{ID: m.Name, Object: "model", OwnedBy: "aum"})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ChatCompletionsHandler serves POST /v1/chat/completions: validate,
+// inject into the live fleet, then stream (SSE) or collect (JSON) the
+// simulated tokens at the warped pace.
+func (g *Gateway) ChatCompletionsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		WriteError(w, http.StatusMethodNotAllowed, ErrMethod, "use POST")
+		return
+	}
+	if !g.Ready() {
+		w.Header().Set("Retry-After", "1")
+		WriteError(w, http.StatusServiceUnavailable, ErrUnavailable,
+			"starting: fleet has not completed its first barrier")
+		return
+	}
+	var req chatRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, ErrInvalidRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if req.Model != "" && req.Model != g.served.Name {
+		WriteError(w, http.StatusNotFound, ErrNotFound,
+			fmt.Sprintf("model %q not found; this fleet serves %q", req.Model, g.served.Name))
+		return
+	}
+	if len(req.Messages) == 0 {
+		WriteError(w, http.StatusBadRequest, ErrInvalidRequest, "messages must be non-empty")
+		return
+	}
+	maxTok := req.MaxTokens
+	if maxTok == 0 {
+		maxTok = req.MaxCompletionTokens
+	}
+	if maxTok < 0 {
+		WriteError(w, http.StatusBadRequest, ErrInvalidRequest, "max_tokens must be positive")
+		return
+	}
+	if maxTok == 0 {
+		maxTok = g.cfg.DefaultTokens
+	}
+	if maxTok > g.cfg.MaxTokens {
+		maxTok = g.cfg.MaxTokens
+	}
+	promptLen := estimatePromptTokens(req.Messages, g.cfg.MaxPromptTokens)
+
+	lr := g.admit(promptLen, maxTok)
+	defer g.drop(lr.tid)
+	if req.Stream {
+		g.streamCompletion(w, r, lr, promptLen)
+		return
+	}
+	g.jsonCompletion(w, r, lr, promptLen)
+}
+
+// writeOutcomeError maps a non-done outcome with no tokens onto the
+// error envelope: shed becomes 429 with Retry-After (the
+// serve.Admission backpressure contract), everything else 503.
+func (g *Gateway) writeOutcomeError(w http.ResponseWriter, outcome string) {
+	if outcome == "shed" {
+		g.cShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		WriteError(w, http.StatusTooManyRequests, ErrRateLimit,
+			"request shed by admission control; retry later")
+		return
+	}
+	WriteError(w, http.StatusServiceUnavailable, ErrOverloaded,
+		"request "+outcome+" before completion")
+}
+
+// jsonCompletion is the stream:false path: collect every token event,
+// pace to the simulated retirement instant, answer in one JSON body.
+func (g *Gateway) jsonCompletion(w http.ResponseWriter, r *http.Request, lr *liveReq, promptLen int) {
+	ctx := r.Context()
+	var toks []event
+	var out outcomeEvent
+collect:
+	for {
+		select {
+		case ev := <-lr.tokens:
+			toks = append(toks, ev)
+		case out = <-lr.outcome:
+			// Token callbacks precede the outcome callback, so the
+			// channel already holds the full stream; drain it.
+			for {
+				select {
+				case ev := <-lr.tokens:
+					toks = append(toks, ev)
+				default:
+					break collect
+				}
+			}
+		case <-ctx.Done():
+			return
+		case <-g.done:
+			WriteError(w, http.StatusServiceUnavailable, ErrUnavailable, "gateway shutting down")
+			return
+		}
+	}
+	if len(toks) == 0 {
+		g.writeOutcomeError(w, out.outcome)
+		return
+	}
+	if err := g.pace(ctx, out.simT); err != nil {
+		return
+	}
+	ttft := toks[0].simT - lr.arrival
+	tpot := 0.0
+	if len(toks) > 1 {
+		tpot = (toks[len(toks)-1].simT - toks[0].simT) / float64(len(toks)-1)
+	}
+	g.cTokens.Add(uint64(len(toks)))
+
+	var sb strings.Builder
+	for i := range toks {
+		sb.WriteString(tokenText(i))
+	}
+	reason := "length"
+	if out.outcome == "done" {
+		reason = "stop"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderTTFT, fmt.Sprintf("%.6f", ttft))
+	w.Header().Set(HeaderTPOT, fmt.Sprintf("%.6f", tpot))
+	w.Header().Set(HeaderWarp, fmt.Sprintf("%g", g.warp))
+	_ = json.NewEncoder(w).Encode(chatCompletion{
+		ID: fmt.Sprintf("chatcmpl-%d", lr.id), Object: "chat.completion",
+		Created: time.Now().Unix(), Model: g.served.Name,
+		Choices: []chatChoice{{
+			Message:      &chatMessage{Role: "assistant", Content: sb.String()},
+			FinishReason: &reason,
+		}},
+		Usage: &chatUsage{
+			PromptTokens: promptLen, CompletionTokens: len(toks),
+			TotalTokens: promptLen + len(toks),
+		},
+	})
+}
+
+// streamCompletion is the stream:true path: SSE chunks, each released
+// at the wall instant its simulated completion time maps to, closed by
+// a finish_reason chunk and the literal [DONE]. The simulated TPOT —
+// unknown until the last token — travels as an HTTP trailer.
+func (g *Gateway) streamCompletion(w http.ResponseWriter, r *http.Request, lr *liveReq, _ int) {
+	ctx := r.Context()
+	// First event decides between an error status and the SSE stream.
+	var first event
+	select {
+	case first = <-lr.tokens:
+	case out := <-lr.outcome:
+		// Outcome before any token: nothing to stream.
+		g.writeOutcomeError(w, out.outcome)
+		return
+	case <-ctx.Done():
+		return
+	case <-g.done:
+		WriteError(w, http.StatusServiceUnavailable, ErrUnavailable, "gateway shutting down")
+		return
+	}
+	if err := g.pace(ctx, first.simT); err != nil {
+		return
+	}
+
+	id := fmt.Sprintf("chatcmpl-%d", lr.id)
+	created := time.Now().Unix()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Trailer", HeaderTPOT)
+	w.Header().Set(HeaderTTFT, fmt.Sprintf("%.6f", first.simT-lr.arrival))
+	w.Header().Set(HeaderWarp, fmt.Sprintf("%g", g.warp))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	chunk := func(delta *chatMessage, finish *string) {
+		b, _ := json.Marshal(chatCompletion{
+			ID: id, Object: "chat.completion.chunk", Created: created,
+			Model:   g.served.Name,
+			Choices: []chatChoice{{Delta: delta, FinishReason: finish}},
+		})
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	chunk(&chatMessage{Role: "assistant"}, nil)
+	chunk(&chatMessage{Content: tokenText(0)}, nil)
+	n := 1
+	firstT, lastT := first.simT, first.simT
+
+	finish := func(outcome string) {
+		reason := "length"
+		if outcome == "done" {
+			reason = "stop"
+		}
+		chunk(&chatMessage{}, &reason)
+		fmt.Fprint(w, "data: [DONE]\n\n")
+		tpot := 0.0
+		if n > 1 {
+			tpot = (lastT - firstT) / float64(n-1)
+		}
+		w.Header().Set(HeaderTPOT, fmt.Sprintf("%.6f", tpot))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		g.cTokens.Add(uint64(n))
+	}
+	for {
+		select {
+		case ev := <-lr.tokens:
+			if err := g.pace(ctx, ev.simT); err != nil {
+				return
+			}
+			chunk(&chatMessage{Content: tokenText(n)}, nil)
+			n++
+			lastT = ev.simT
+		case out := <-lr.outcome:
+			// Drain tokens buffered ahead of the outcome, then close.
+			for {
+				select {
+				case ev := <-lr.tokens:
+					if err := g.pace(ctx, ev.simT); err != nil {
+						return
+					}
+					chunk(&chatMessage{Content: tokenText(n)}, nil)
+					n++
+					lastT = ev.simT
+				default:
+					finish(out.outcome)
+					return
+				}
+			}
+		case <-ctx.Done():
+			return
+		case <-g.done:
+			finish("failed")
+			return
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errStopped resolves handlers blocked on a gateway that is shutting
+// down.
+var errStopped = errors.New("gateway: stopped")
+
+// pace blocks until the wall-clock instant the simulated time simT
+// maps to (startWall + simT/warp) — the drip-feed of the time-warp
+// contract. Returns immediately when the instant is already past,
+// recording how late the release is in
+// aum_gateway_paced_release_lag_seconds (the steady-state lag is
+// bounded by one barrier interval of wall time).
+func (g *Gateway) pace(ctx context.Context, simT float64) error {
+	target := g.wallAt(simT)
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			g.gLag.Set(-d.Seconds())
+			return nil
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-g.stop:
+			t.Stop()
+			return errStopped
+		case <-t.C:
+		}
+	}
+}

@@ -195,6 +195,25 @@ type aggregate struct {
 	tokens         int
 }
 
+// Listener receives completion-relevant lifecycle callbacks — the hook
+// the serving gateway uses to resolve in-flight HTTP requests off the
+// span completions the tracer already records. Callbacks fire after
+// the tracer's own bookkeeping, outside its lock, on whichever
+// goroutine ran the hook (a machine mid-epoch or the barrier code);
+// implementations must be safe for concurrent use and must not call
+// back into the Tracer. Only sampled requests reach the listener, so
+// a gateway tracer keeps the default SampleEvery of 1.
+type Listener interface {
+	// OnFirstToken fires at prefill completion (the TTFT endpoint).
+	OnFirstToken(tid uint64, simNow float64)
+	// OnToken fires once per decode token with the running decode-token
+	// count (the first token is OnFirstToken's, not counted here).
+	OnToken(tid uint64, simNow float64, tokens int)
+	// OnOutcome fires exactly once when the request leaves the live
+	// set: done | shed | timeout | dropped | failed.
+	OnOutcome(tid uint64, simNow float64, outcome string)
+}
+
 // Tracer records request lifecycles. All methods are safe for
 // concurrent use and no-ops on a nil receiver, so every hook site can
 // call unconditionally behind a single nil check.
@@ -212,6 +231,18 @@ type Tracer struct {
 	gBurn      [2]*telemetry.Gauge                // last full window rate
 	gSampled   *telemetry.Gauge
 	gCompleted *telemetry.Gauge
+
+	listener Listener // completion callbacks; guarded by mu for set/get
+}
+
+// SetListener registers (or, with nil, clears) the completion listener.
+func (t *Tracer) SetListener(l Listener) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.listener = l
+	t.mu.Unlock()
 }
 
 // New creates a tracer.
@@ -315,7 +346,11 @@ func (t *Tracer) Shed(tid uint64, now float64, reason string, node int) {
 	}
 	r.spans = append(r.spans, Span{Name: "shed:" + reason, Node: node, Start: now, End: now})
 	t.finish(r, "shed")
+	l := t.listener
 	t.mu.Unlock()
+	if l != nil {
+		l.OnOutcome(tid, now, "shed")
+	}
 }
 
 // TimedOut records a queue-deadline drop.
@@ -324,12 +359,17 @@ func (t *Tracer) TimedOut(tid uint64, now float64, node int) {
 		return
 	}
 	t.mu.Lock()
+	var l Listener
 	if r := t.get(tid); r != nil {
 		r.blameH[CatQueue] += now - r.lastReady
 		r.spans = append(r.spans, Span{Name: "queue", Node: node, Start: r.lastReady, End: now})
 		t.finish(r, "timeout")
+		l = t.listener
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnOutcome(tid, now, "timeout")
+	}
 }
 
 // PrefillStart records the request being popped from the queue into a
@@ -390,6 +430,7 @@ func (t *Tracer) FirstToken(tid uint64, now float64, met bool, membwFrac, thrott
 	if !met {
 		w.ttftViol++
 	}
+	var l Listener
 	if t.Sampled(tid) {
 		if r := t.get(tid); r != nil && r.popAt >= 0 {
 			chargeExec(&r.blameH, now-r.popAt, membwFrac, throttleFrac)
@@ -397,9 +438,13 @@ func (t *Tracer) FirstToken(tid uint64, now float64, met bool, membwFrac, thrott
 			r.popAt = -1
 			r.firstToken = now
 			r.lastTok = now
+			l = t.listener
 		}
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnFirstToken(tid, now)
+	}
 }
 
 // HandoffReady records the prefill side exporting the request's KV
@@ -446,6 +491,8 @@ func (t *Tracer) Token(tid uint64, now, eTok float64, met bool, iterExecS, membw
 	if !met {
 		w.tokViol++
 	}
+	var l Listener
+	tokens := 0
 	if t.Sampled(tid) {
 		if r := t.get(tid); r != nil {
 			gap := eTok - iterExecS
@@ -458,9 +505,14 @@ func (t *Tracer) Token(tid uint64, now, eTok float64, met bool, iterExecS, membw
 			chargeExec(&r.blameL, iterExecS, membwFrac, throttleFrac)
 			r.tokens++
 			r.lastTok = now
+			l = t.listener
+			tokens = r.tokens
 		}
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnToken(tid, now, tokens)
+	}
 }
 
 // Retire records the request finishing its output.
@@ -469,14 +521,19 @@ func (t *Tracer) Retire(tid uint64, now float64, node int) {
 		return
 	}
 	t.mu.Lock()
+	var l Listener
 	if r := t.get(tid); r != nil {
 		r.retiredAt = now
 		if now > r.firstToken {
 			r.spans = append(r.spans, Span{Name: "decode", Node: node, Start: r.firstToken, End: now})
 		}
 		t.finish(r, "done")
+		l = t.listener
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnOutcome(tid, now, "done")
+	}
 }
 
 // Dropped records a decode-backlog shed.
@@ -485,11 +542,16 @@ func (t *Tracer) Dropped(tid uint64, now float64, node int) {
 		return
 	}
 	t.mu.Lock()
+	var l Listener
 	if r := t.get(tid); r != nil {
 		r.spans = append(r.spans, Span{Name: "backlog-drop", Node: node, Start: now, End: now})
 		t.finish(r, "dropped")
+		l = t.listener
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnOutcome(tid, now, "dropped")
+	}
 }
 
 // CrashLost records the request's current attempt dying with its
@@ -544,11 +606,16 @@ func (t *Tracer) Failed(tid uint64, now float64) {
 		return
 	}
 	t.mu.Lock()
+	var l Listener
 	if r := t.get(tid); r != nil {
 		r.spans = append(r.spans, Span{Name: "retry-exhausted", Node: r.node, Start: now, End: now})
 		t.finish(r, "failed")
+		l = t.listener
 	}
 	t.mu.Unlock()
+	if l != nil {
+		l.OnOutcome(tid, now, "failed")
+	}
 }
 
 // fold drains finished records into the aggregate in trace-ID order —
