@@ -11,6 +11,7 @@ package aum
 import (
 	"testing"
 
+	"aum/internal/cluster"
 	"aum/internal/llm"
 	"aum/internal/machine"
 	"aum/internal/membw"
@@ -143,6 +144,13 @@ func TestAllocBudgetReqTraceSampled(t *testing.T) {
 		n4.Token(skipped, 0.3, 0.1, true, 0.05, 0, 0)
 		n4.Retire(skipped, 0.4, 0)
 	})
+}
+
+// TestAllocBudgetFailover pins the fault-tolerance hot path — retry
+// scheduling, jitter derivation, due-queue ordering, and failover
+// dispatch — at exactly zero allocations per barrier at steady state.
+func TestAllocBudgetFailover(t *testing.T) {
+	allocBudget(t, "fleet failover", 0, 200, cluster.FailoverBenchLoop())
 }
 
 // TestAllocBudgetMaxMin pins the bandwidth arbitration at its

@@ -38,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"aum"
@@ -62,6 +63,10 @@ type experimentTimed struct {
 	ID    string  `json:"id"`
 	Paper string  `json:"paper"`
 	WallS float64 `json:"wall_s"`
+	// Metrics carries the experiment's scalar summary metrics (Table
+	// Metrics — e.g. fleet100k's speedup_vs_legacy) so the archived
+	// report records headline numbers, not just wall clocks.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -154,18 +159,22 @@ func main() {
 	if *run == "all" {
 		todo = aum.Experiments()
 	} else {
-		e, err := aum.ExperimentByID(*run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// -run also accepts a comma-separated list of ids.
+		for _, id := range strings.Split(*run, ",") {
+			e, err := aum.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
 		}
-		todo = []aum.Experiment{e}
 	}
 	// Per-experiment wall clocks land in gauges first; the JSON report
 	// below is rendered from the snapshot so there is one source of
 	// truth. (Wall time is allowed here — it annotates the run, it
 	// never enters a result table.)
 	benchTel := aum.NewTelemetryRegistry()
+	metricsByID := make(map[string]map[string]float64)
 	suiteStart := time.Now()
 	for _, e := range todo {
 		start := time.Now()
@@ -176,6 +185,9 @@ func main() {
 		}
 		wall := time.Since(start).Seconds()
 		benchTel.Gauge(fmt.Sprintf("aumbench_experiment_wall_seconds{id=%q}", e.ID)).Set(wall)
+		if len(tbl.Metrics) > 0 {
+			metricsByID[e.ID] = tbl.Metrics
+		}
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
 			continue
@@ -192,7 +204,8 @@ func main() {
 	}
 	for _, e := range todo {
 		w, _ := snap.GaugeValue(fmt.Sprintf("aumbench_experiment_wall_seconds{id=%q}", e.ID))
-		report.Experiments = append(report.Experiments, experimentTimed{ID: e.ID, Paper: e.Paper, WallS: w})
+		report.Experiments = append(report.Experiments, experimentTimed{
+			ID: e.ID, Paper: e.Paper, WallS: w, Metrics: metricsByID[e.ID]})
 	}
 	report.TotalS, _ = snap.GaugeValue("aumbench_suite_wall_seconds")
 	if *benchOut != "" && len(report.Experiments) > 0 {

@@ -9,10 +9,14 @@
 //	benchdiff -old base.json -new head.json -threshold 0.10 -strict
 //
 // Exit status is 0 unless -strict is set and at least one experiment
-// regressed by more than -threshold. CI runs it non-strict: runner
-// wall clocks are noisy, so regressions surface as warnings on the
-// job log rather than hard failures, and the checked-in baseline is
-// refreshed deliberately alongside performance work.
+// regressed by more than -threshold, OR a hot-path row regressed by
+// more than -hot-fail (default 25%). CI runs it non-strict for
+// experiment wall clocks — runner wall clocks are noisy, so those
+// regressions surface as warnings on the job log — but the hot-path
+// gate is unconditional: in-process microbenchmark loops are stable
+// enough that a >25% slowdown is a real regression, and it fails the
+// job even without -strict. The checked-in baseline is refreshed
+// deliberately alongside performance work.
 package main
 
 import (
@@ -144,6 +148,7 @@ func main() {
 	oldPath := flag.String("old", "BENCH_results.json", "baseline timing report")
 	newPath := flag.String("new", "", "candidate timing report")
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+	hotFail := flag.Float64("hot-fail", 0.25, "hot-path slowdown that fails the run even without -strict (<=0 disables)")
 	strict := flag.Bool("strict", false, "exit non-zero when regressions are found")
 	flag.Parse()
 	if *newPath == "" {
@@ -166,18 +171,30 @@ func main() {
 		fmt.Printf("%-24s %10.3f %10.3f %+7.1f%%\n", "total", oldR.TotalS, newR.TotalS,
 			100*(newR.TotalS-oldR.TotalS)/oldR.TotalS)
 	}
+	hotFailures := 0
 	if len(oldR.HotPaths) > 0 || len(newR.HotPaths) > 0 {
 		hotRows, hotRegressions := compareHotPaths(oldR, newR, *threshold)
 		regressions += hotRegressions
 		fmt.Println()
 		printRows("hot path", "old(ns)", "new(ns)", hotRows, "%10.1f")
+		if *hotFail > 0 {
+			for _, r := range hotRows {
+				if r.comparable && r.delta > *hotFail {
+					hotFailures++
+					fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s regressed %+.1f%% (hard limit %.0f%%)\n",
+						r.id, 100*r.delta, 100**hotFail)
+				}
+			}
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d experiment(s) regressed more than %.0f%%\n",
 			regressions, 100**threshold)
-		if *strict {
-			os.Exit(1)
-		}
+	}
+	// Hot-path failures are unconditional: -strict gates only the noisy
+	// wall-clock rows.
+	if hotFailures > 0 || (*strict && regressions > 0) {
+		os.Exit(1)
 	}
 }
 

@@ -147,6 +147,29 @@ type Config struct {
 	// Progress, when set, is called after every barrier with the fleet
 	// time — the hook cmd/aumd's -fleet status line uses.
 	Progress func(now float64)
+	// EventDriven replaces the fixed-cadence barrier loop with the
+	// event-queue core (DESIGN.md §14): barriers at which no event
+	// source — arrivals, QPS points, fault timers, autoscaler
+	// watermarks, warm-up completions, KV deliveries — can fire and no
+	// machine is mid-request are elided, and machine state is caught up
+	// lazily by replaying exactly the per-barrier steps the legacy loop
+	// would have run. Results are byte-identical to the barrier loop at
+	// every worker width with fast-forward on or off; only wall-clock
+	// changes. Elisions are counted in aum_cluster_barriers_elided_total.
+	EventDriven bool
+	// Archetypes enables archetype memoization on top of the event
+	// core: quiescent machines advance in O(1) closed form from an
+	// interned per-class step capture (machine.ReplayCapture), adopted
+	// by machines that have never stepped, with copy-on-divergence when
+	// a request lands. This is the 100k-machine scale mode; it is
+	// *approximate* (k× products instead of k iterated additions; see
+	// DESIGN.md §14 for the error bound) and therefore restricted to
+	// configurations whose idle dynamics are provably self-repeating:
+	// all-mixed roles, round-robin routing, interval-free managers, and
+	// no faults, autoscaler, co-runner, live source, or request tracing.
+	// Implies EventDriven. Hits are counted in
+	// aum_cluster_archetype_hits_total.
+	Archetypes bool
 }
 
 // Option mutates a Config under construction; see New.
@@ -217,6 +240,14 @@ func WithTelemetry(reg *telemetry.Registry) Option { return func(c *Config) { c.
 
 // WithProgress registers a per-barrier callback.
 func WithProgress(fn func(now float64)) Option { return func(c *Config) { c.Progress = fn } }
+
+// WithEventDriven enables the event-queue core: quiescent barriers are
+// elided and caught up lazily, byte-identical to the barrier loop.
+func WithEventDriven() Option { return func(c *Config) { c.EventDriven = true } }
+
+// WithArchetypes enables archetype memoization (implies WithEventDriven):
+// the approximate O(1) idle-advance mode for very large fleets.
+func WithArchetypes() Option { return func(c *Config) { c.Archetypes = true } }
 
 // New validates a fleet assembled from options and returns it ready to
 // Run. Package-level Run accepts the Config struct directly; both
@@ -426,6 +457,35 @@ func (c Config) withDefaults() (Config, error) {
 			return c, vcfg.Bad(pkg, "Config.Machines", classes[k].Name, "given a decode sink (a mixed or decode machine) for its prefill tier")
 		}
 	}
+	if c.Archetypes {
+		c.EventDriven = true
+		// The archetype safety predicate (DESIGN.md §14) only holds for
+		// configurations whose idle machines are provably self-repeating
+		// and whose node states never change mid-run.
+		if c.Policy != RoundRobin {
+			return c, vcfg.Bad(pkg, "Config.Policy", c.Policy.String(), "round-robin when Config.Archetypes is set (queue-aware policies scan the whole fleet per pick)")
+		}
+		switch {
+		case c.Faults != nil:
+			return c, vcfg.Bad(pkg, "Config.Faults", "set", "unset when Config.Archetypes is set")
+		case c.Autoscale != nil:
+			return c, vcfg.Bad(pkg, "Config.Autoscale", "set", "unset when Config.Archetypes is set")
+		case c.BE != nil:
+			return c, vcfg.Bad(pkg, "Config.BE", "set", "unset when Config.Archetypes is set (co-runners are not interned)")
+		case c.Source != nil:
+			return c, vcfg.Bad(pkg, "Config.Source", "set", "unset when Config.Archetypes is set")
+		case c.ReqTrace != nil:
+			return c, vcfg.Bad(pkg, "Config.ReqTrace", "set", "unset when Config.Archetypes is set")
+		}
+		for i, spec := range c.Machines {
+			if spec.Role != RoleMixed {
+				return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Role", i), spec.Role.String(), "mixed when Config.Archetypes is set")
+			}
+			if spec.Mgr.Interval() != 0 {
+				return c, vcfg.Bad(pkg, fmt.Sprintf("Config.Machines[%d].Mgr", i), spec.Mgr.Interval(), "an interval-free manager (Interval() == 0) when Config.Archetypes is set")
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -600,7 +660,7 @@ func run(cfg Config) (Result, error) {
 	}
 	barriers := int(math.Round(cfg.HorizonS / cfg.BarrierS))
 	for bi := 0; bi < barriers; bi++ {
-		if err := s.step(); err != nil {
+		if err := s.advance(); err != nil {
 			return Result{}, err
 		}
 	}

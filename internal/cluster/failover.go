@@ -10,7 +10,6 @@ package cluster
 
 import (
 	"math"
-	"sort"
 
 	"aum/internal/chaos"
 	"aum/internal/reqtrace"
@@ -140,6 +139,7 @@ type faultEngine struct {
 	// reuse IDs, but a request object is unique.
 	attempts map[*serve.Request]int
 	retryq   []retryEntry
+	routable []int // dispatchDue scratch, reused across barriers
 
 	crashes      int
 	redispatched int
@@ -394,7 +394,7 @@ func (fe *faultEngine) scheduleRetry(now float64, r *serve.Request, class int) {
 	// The jitter stream is a pure function of (seed, class, ID,
 	// attempt): no shared generator, so neither worker width nor
 	// harvest order can perturb it (DESIGN.md §10).
-	u := rng.Derive(fe.seed, 0x8e77, uint64(class), uint64(r.ID), uint64(attempt)).Float64()
+	u := rng.DeriveUniform(fe.seed, 0x8e77, uint64(class), uint64(r.ID), uint64(attempt))
 	backoff *= 1 + fe.cfg.JitterFrac*(2*u-1)
 	r.ResetForRetry()
 	fe.retried++
@@ -410,20 +410,16 @@ func (fe *faultEngine) dispatchDue(now float64, nodes []*node, bal *balancer) {
 	if len(fe.retryq) == 0 {
 		return
 	}
-	sort.SliceStable(fe.retryq, func(a, b int) bool {
-		ra, rb := fe.retryq[a], fe.retryq[b]
-		if ra.at != rb.at {
-			return ra.at < rb.at
+	// Insertion sort: produces the same stable order sort.SliceStable
+	// did (strict-less swaps never reorder equals) without its
+	// reflect-based swapper allocations — the queue is short and
+	// near-sorted, so this is also the faster shape.
+	for i := 1; i < len(fe.retryq); i++ {
+		for j := i; j > 0 && retryBefore(fe.retryq[j], fe.retryq[j-1]); j-- {
+			fe.retryq[j], fe.retryq[j-1] = fe.retryq[j-1], fe.retryq[j]
 		}
-		if ra.class != rb.class {
-			return ra.class < rb.class
-		}
-		if ra.req.ID != rb.req.ID {
-			return ra.req.ID < rb.req.ID
-		}
-		return ra.attempt < rb.attempt
-	})
-	var routable []int
+	}
+	routable := fe.routable[:0]
 	keep := fe.retryq[:0]
 	for _, e := range fe.retryq {
 		if e.at > now {
@@ -441,10 +437,29 @@ func (fe *faultEngine) dispatchDue(now float64, nodes []*node, bal *balancer) {
 		fe.redispatched++
 		fe.cRedispatched.Inc()
 		fe.rt.Redispatched(e.req.TraceID, now, i)
-		fe.trace.Instant("redispatch", "fleet", telemetry.PIDFleet, i, now,
-			map[string]float64{"request": float64(e.req.ID), "attempt": float64(e.attempt)})
+		if fe.trace != nil {
+			// Guarded so the untraced hot path skips the args map.
+			fe.trace.Instant("redispatch", "fleet", telemetry.PIDFleet, i, now,
+				map[string]float64{"request": float64(e.req.ID), "attempt": float64(e.attempt)})
+		}
 	}
+	fe.routable = routable
 	fe.retryq = keep
+}
+
+// retryBefore is dispatchDue's deterministic (at, class, ID, attempt)
+// dispatch order.
+func retryBefore(a, b retryEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.req.ID != b.req.ID {
+		return a.req.ID < b.req.ID
+	}
+	return a.attempt < b.attempt
 }
 
 // unhealthy reports whether the node is in an outage state: dead

@@ -59,6 +59,9 @@ type session struct {
 	shed     int
 	routable []int
 	bi       int // barriers completed so far
+
+	ev   *eventState // event-queue core (Config.EventDriven)
+	arch *archState  // archetype memoization (Config.Archetypes)
 }
 
 // newSession builds the fleet from an already-validated Config.
@@ -82,11 +85,19 @@ func newSession(cfg Config) (*session, error) {
 	for i, spec := range cfg.Machines {
 		scen := classes[classOf[i]]
 		m := machine.New(spec.Plat)
-		mon := perfmon.NewMonitor(256)
-		mon.Attach(m)
+		// Archetype mode leaves machines bare: a per-machine telemetry
+		// scope or perfmon sampler would pin every machine to the exact
+		// per-tick path (machine.CoarseReady refuses observed machines),
+		// defeating the memoization — and at 100k machines the scopes
+		// alone dominate memory.
+		var mon *perfmon.Monitor
 		var scope *telemetry.Registry
-		if cfg.Telemetry != nil {
-			scope = cfg.Telemetry.Child(fmt.Sprintf("m%02d", i))
+		if !cfg.Archetypes {
+			mon = perfmon.NewMonitor(256)
+			mon.Attach(m)
+			if cfg.Telemetry != nil {
+				scope = cfg.Telemetry.Child(fmt.Sprintf("m%02d", i))
+			}
 		}
 		m.SetTelemetry(scope)
 		n := &node{name: fmt.Sprintf("%s-%d", spec.Plat.Name, i), spec: spec, class: classOf[i]}
@@ -174,7 +185,26 @@ func newSession(cfg Config) (*session, error) {
 		}
 		s.fe.rt = rt
 	}
+	switch {
+	case cfg.Archetypes:
+		s.arch = newArchState(s)
+	case cfg.EventDriven:
+		s.ev = newEventState(cfg.Telemetry)
+	}
 	return s, nil
+}
+
+// advance steps one barrier with whichever loop body the config
+// selected: archetype memoization, the event-queue core, or the
+// legacy fixed-cadence body.
+func (s *session) advance() error {
+	switch {
+	case s.arch != nil:
+		return s.stepArch()
+	case s.ev != nil:
+		return s.stepEvent()
+	}
+	return s.step()
 }
 
 // now is the simulated time of the next barrier's start.
@@ -394,6 +424,18 @@ func (s *session) step() error {
 // [WarmupS, endS]: per-node post-warmup deltas, summed.
 func (s *session) finishAt(endS float64) (Result, error) {
 	cfg, nodes := s.cfg, s.nodes
+	// Settle any work the event-driven modes deferred: elided spans
+	// replay exactly; archetype spans advance coarsely.
+	switch {
+	case s.arch != nil:
+		if err := s.archFinish(); err != nil {
+			return Result{}, err
+		}
+	case s.ev != nil:
+		if err := s.catchUp(); err != nil {
+			return Result{}, err
+		}
+	}
 	s.rt.Publish()
 	if cfg.ReqTrace != nil {
 		cfg.ReqTrace.ExportChrome(cfg.Trace)
@@ -506,8 +548,85 @@ func (s *Session) Config() Config { return s.s.cfg }
 // times the barrier interval.
 func (s *Session) Now() float64 { return s.s.now() }
 
-// Step advances the fleet exactly one barrier interval.
-func (s *Session) Step() error { return s.s.step() }
+// Step advances the fleet exactly one barrier interval, through the
+// config-selected loop body (legacy, event-driven, or archetype).
+func (s *Session) Step() error { return s.s.advance() }
+
+// StepUntil advances barriers until the simulated clock reaches at
+// least t. With EventDriven set, inert barriers inside the span are
+// elided, so catching a long-idle session up to "now" costs far less
+// than stepping each barrier's fleet scan.
+func (s *Session) StepUntil(t float64) error {
+	for s.s.now() < t-1e-9 {
+		if err := s.s.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextEventAt reports a lower bound on the simulated time of the next
+// barrier the event core must actually execute: Now() when the
+// upcoming barrier is not provably inert, +Inf when no event source
+// has anything scheduled (a fully idle session with a live source is
+// woken by its next Submit), otherwise the start of the earliest
+// barrier that observes a scheduled event. The bound may be early —
+// the core re-checks at every barrier — never late. Without
+// EventDriven it degenerates to Now().
+func (s *Session) NextEventAt() float64 { return s.s.nextBusyBarrierAt() }
+
+func (s *session) nextBusyBarrierAt() float64 {
+	if s.ev == nil {
+		return s.now()
+	}
+	if !s.ev.scanned {
+		s.refreshEventScan()
+	}
+	if !s.canElide() {
+		return s.now()
+	}
+	B := s.cfg.BarrierS
+	next := math.Inf(1)
+	add := func(t float64) {
+		if t < next {
+			next = t
+		}
+	}
+	for _, g := range s.gens {
+		add(g.NextEventAt(s.now()))
+	}
+	if s.qpsIdx < len(s.cfg.QPS) {
+		add(s.cfg.QPS[s.qpsIdx].At)
+	}
+	if s.ev.warmingAny {
+		add(s.ev.minActiveAt)
+	}
+	if fe := s.fe; fe != nil {
+		add(fe.inj.NextEventAt())
+		for _, e := range fe.retryq {
+			add(e.at)
+		}
+	}
+	if sc := s.scaler; sc != nil {
+		if s.ev.spanHi {
+			add(s.now() + float64(sc.cfg.HoldBarriers-sc.hiStreak)*B)
+		}
+		if s.ev.spanLo && s.ev.spanPowered > sc.cfg.MinActive {
+			add(s.now() + float64(sc.cfg.HoldBarriers-sc.loStreak)*B)
+		}
+	}
+	if math.IsInf(next, 1) {
+		return next
+	}
+	// Snap to the start of the barrier whose window observes the
+	// event; rounding down an epsilon keeps the bound early, which the
+	// per-barrier re-check makes safe.
+	bi := int(math.Ceil(next/B-1e-9)) - 1
+	if bi < s.bi {
+		bi = s.bi
+	}
+	return float64(bi) * B
+}
 
 // Finish closes the measurement window and returns the fleet result.
 // The window ends at the configured horizon or the time actually

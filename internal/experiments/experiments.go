@@ -98,6 +98,18 @@ type Table struct {
 	Columns []string // value column headers
 	Rows    []Row
 	Notes   []string
+	// Metrics carries named scalar outcomes that are not table cells —
+	// wall clocks, speedups, fleet sizes — for the aumbench timing
+	// report (BENCH_results.json) and CI budget checks.
+	Metrics map[string]float64 `json:",omitempty"`
+}
+
+// SetMetric records a named scalar outcome for the timing report.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
 }
 
 // AddRow appends a row.

@@ -39,12 +39,23 @@ func TestFastForwardByteIdentity(t *testing.T) {
 	prev := machine.FastForward()
 	defer machine.SetFastForward(prev)
 
+	// fleet100k is excluded: it is a wall-clock benchmark whose
+	// normalized table is fully zeroed (every row and metric is
+	// volatile), so the comparison is vacuous — and with replay
+	// disabled its archetype core degenerates to per-barrier exact
+	// replay of the whole 10k-machine fleet, the cost the experiment
+	// exists to avoid. The archetype/FF interaction is pinned by the
+	// cluster package's own suite instead.
+	skip := map[string]bool{"fleet100k": true}
 	o := Options{Quick: true, Seed: 42}
 	run := func(ff bool) map[string]string {
 		machine.SetFastForward(ff)
 		lab := NewLab()
 		out := make(map[string]string)
 		for _, e := range Registry() {
+			if skip[e.ID] {
+				continue
+			}
 			out[e.ID] = renderNormalized(t, lab, e.ID, o)
 		}
 		return out
@@ -52,6 +63,9 @@ func TestFastForwardByteIdentity(t *testing.T) {
 	slow := run(false)
 	fast := run(true)
 	for _, e := range Registry() {
+		if skip[e.ID] {
+			continue
+		}
 		if fast[e.ID] != slow[e.ID] {
 			t.Errorf("%s: fast-forward changed the table\nFF off:\n%s\nFF on:\n%s",
 				e.ID, slow[e.ID], fast[e.ID])

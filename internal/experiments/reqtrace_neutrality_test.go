@@ -25,6 +25,13 @@ func TestRequestTracingDoesNotChangeResults(t *testing.T) {
 	o := Options{Quick: true, Seed: 42}
 	for _, e := range Registry() {
 		e := e
+		if e.ID == "fleet100k" {
+			// A wall-clock benchmark whose normalized golden is fully
+			// zeroed — the comparison is vacuous, and the archetype
+			// envelope rejects request tracing anyway (the fixture in
+			// the cluster suite pins that rejection).
+			continue
+		}
 		t.Run(e.ID, func(t *testing.T) {
 			got := renderNormalized(t, lab, e.ID, o) + "\n"
 			want, err := os.ReadFile(goldenPath(e.ID))

@@ -161,6 +161,7 @@ type Gateway struct {
 	failure    atomic.Value // error from a failed Step
 	stop       chan struct{}
 	done       chan struct{}
+	nudge      chan struct{} // poked by Submit: wakes an idle driver
 	stopOnce   sync.Once
 
 	gInflight *telemetry.Gauge
@@ -196,6 +197,7 @@ func NewFromConfig(cfg Config) (*Gateway, error) {
 		inflight: make(map[uint64]*liveReq),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		nudge:    make(chan struct{}, 1),
 
 		gInflight: cfg.Telemetry.Gauge("aum_gateway_inflight"),
 		gWarp:     cfg.Telemetry.Gauge("aum_gateway_warp_ratio"),
@@ -212,6 +214,12 @@ func NewFromConfig(cfg Config) (*Gateway, error) {
 	fc := cfg.Fleet
 	fc.Source = g.src
 	fc.ReqTrace = g.rt
+	// The live session runs on the event-queue core: barriers with no
+	// pending arrival, retry, or autoscaler event are elided, so an
+	// idle gateway costs pulses instead of fleet scans and the driver
+	// can sleep until the next interaction event rather than waking
+	// every barrier interval.
+	fc.EventDriven = true
 	sess, err := cluster.NewSession(fc)
 	if err != nil {
 		return nil, err
@@ -254,24 +262,51 @@ func (g *Gateway) Stop() (cluster.Result, error) {
 	return g.sess.Finish()
 }
 
-// drive is the time-warp pacing loop: sleep until wall time reaches
-// the next barrier's warped instant, then advance the fleet one
-// barrier. Simulated time therefore tracks warp * wall-elapsed to
-// within one barrier interval, and every completion event carries a
-// simulated timestamp that wallAt maps back onto the wall clock.
+// drive is the time-warp pacing loop. The fleet clock must never lead
+// warp * wall-elapsed (completions are computed from arrival stamps
+// against that clock), so the driver sleeps toward the warped wall
+// instant of the next barrier the event core must execute: one
+// interval ahead while work is in flight, the barrier observing the
+// next scheduled event while the fleet is coasting, and indefinitely
+// (+Inf) when nothing is scheduled — in which case only a Submit
+// nudge or Stop wakes it. On wake it catches the session up to the
+// warped clock with StepUntil; the EventDriven core turns the inert
+// barriers in between into cheap pulses, so a long-idle session
+// catches up in microseconds instead of running every barrier's fleet
+// scan. Token release order is unchanged: releases are paced by the
+// handlers (pace) from simulated timestamps, which this loop only
+// ever produces at or behind their warped wall instants.
 func (g *Gateway) drive() {
 	defer close(g.done)
+	// Catch-up runs in bounded strides so Stop stays responsive while
+	// a long-elided span is replayed.
+	const maxStride = 64
 	for {
-		next := g.sess.Now() + g.barrierS
-		for {
-			d := time.Until(g.wallAt(next))
-			if d <= 0 {
-				break
-			}
+		next := g.sess.NextEventAt() + g.barrierS
+		if !g.ready.Load() {
+			// The first barrier always executes on the plain cadence:
+			// readiness (and the 503 window before it) is pinned to it.
+			next = g.sess.Now() + g.barrierS
+		}
+		if math.IsInf(next, 1) {
+			// Fully idle and nothing scheduled: sleep until a request
+			// arrives.
 			select {
 			case <-g.stop:
 				return
-			case <-time.After(d):
+			case <-g.nudge:
+			}
+		} else if d := time.Until(g.wallAt(next)); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-g.stop:
+				t.Stop()
+				return
+			case <-g.nudge:
+				// A new arrival may precede the scheduled bound;
+				// recompute against the warped clock below.
+				t.Stop()
+			case <-t.C:
 			}
 		}
 		select {
@@ -279,17 +314,33 @@ func (g *Gateway) drive() {
 			return
 		default:
 		}
-		if err := g.sess.Step(); err != nil {
-			g.failure.Store(fmt.Errorf("gateway: fleet step: %w", err))
-			return
+		target := g.warpedSimNow()
+		for g.sess.Now() < target-1e-9 {
+			stride := math.Min(target, g.sess.Now()+maxStride*g.barrierS)
+			if err := g.sess.StepUntil(stride); err != nil {
+				g.failure.Store(fmt.Errorf("gateway: fleet step: %w", err))
+				return
+			}
+			g.simNowBits.Store(math.Float64bits(g.sess.Now()))
+			g.ready.Store(true)
+			select {
+			case <-g.stop:
+				return
+			default:
+			}
 		}
-		now := g.sess.Now()
-		g.simNowBits.Store(math.Float64bits(now))
-		g.ready.Store(true)
 		if wallS := time.Since(g.startWall).Seconds(); wallS > 0 {
-			g.gWarp.Set(now / wallS)
+			g.gWarp.Set(g.sess.Now() / wallS)
 		}
 	}
+}
+
+// warpedSimNow is the simulated time wall-clock progress has earned:
+// warp * wall-elapsed. The fleet clock trails it, never leads it, and
+// live arrivals are stamped against it so an idle (elided) span does
+// not distort a request's arrival time.
+func (g *Gateway) warpedSimNow() float64 {
+	return time.Since(g.startWall).Seconds() * g.warp
 }
 
 // wallAt maps a simulated instant to its wall-clock release time:
@@ -307,12 +358,21 @@ func (g *Gateway) admit(promptLen, maxTokens int) *liveReq {
 		outcome: make(chan outcomeEvent, 1),
 	}
 	g.mu.Lock()
-	lr.id, lr.arrival = g.src.Submit(g.Now(), promptLen, maxTokens)
+	// Stamp the arrival against the warped wall clock, not the fleet
+	// frontier: during an elided idle span the fleet clock is parked,
+	// and stamping there would backdate the request by the whole span.
+	lr.id, lr.arrival = g.src.Submit(g.warpedSimNow(), promptLen, maxTokens)
 	lr.tid = reqtrace.MakeTraceID(0, lr.id)
 	g.inflight[lr.tid] = lr
 	g.gInflight.Set(float64(len(g.inflight)))
 	g.mu.Unlock()
 	g.cRequests.Inc()
+	// Wake the driver: it may be sleeping far past this arrival's
+	// barrier.
+	select {
+	case g.nudge <- struct{}{}:
+	default:
+	}
 	return lr
 }
 

@@ -207,3 +207,199 @@ func (m *Machine) captureEmpty(dt float64) {
 	c.watts = m.lastWatts
 	c.energyInc = m.lastWatts * dt
 }
+
+// BulkQuiescer is an optional Quiescer extension: a workload that can
+// prove — and apply — k identical quiescent steps at once. The bulk
+// application may use k×dt products, so it is *approximately* equal to
+// k iterated AdvanceQuiesced calls (same values up to floating-point
+// rounding). The cluster's archetype-memoization path (DESIGN.md §14)
+// is the only caller; byte-identical modes never use it.
+type BulkQuiescer interface {
+	Quiescer
+	// CanQuiesceN reports whether the next k steps of dt under an
+	// unchanged environment are all provably identical to the last full
+	// step. It must not mutate any state.
+	CanQuiesceN(dt float64, k int) bool
+	// AdvanceQuiescedN applies the aggregate internal-state mutation of
+	// k quiescent steps.
+	AdvanceQuiescedN(dt float64, k int)
+}
+
+// CoarseReady reports whether SkipQuiescent could currently succeed for
+// spans of step dt: the capture is valid and every stepped task can
+// bulk-quiesce. Fleet code uses it to decide when a machine may leave
+// the per-barrier stepping set.
+func (m *Machine) CoarseReady(dt float64) bool {
+	c := &m.ff
+	if !FastForward() || !c.valid || c.dt != dt || c.n != len(m.tasks) {
+		return false
+	}
+	if m.tel != nil || m.sampler != nil {
+		return false
+	}
+	if c.empty {
+		return true
+	}
+	for i := range c.stepped {
+		if !c.stepped[i] {
+			continue
+		}
+		bq, ok := c.quiesce[i].(BulkQuiescer)
+		if !ok || !bq.CanQuiesceN(dt, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipQuiescent advances k steps of dt in O(1) instead of O(k): every
+// captured per-task increment is applied as a k× product and the
+// governor's thermal average moves in closed form (SkipThermal). The
+// result equals k replayed steps up to floating-point rounding — this
+// is the approximate fast path of cluster archetype memoization
+// (DESIGN.md §14), never used by byte-identical modes. Returns false,
+// leaving the machine untouched, when any task refuses bulk quiescence
+// or the thermal predicate would flip mid-span; the caller then falls
+// back to StepN.
+func (m *Machine) SkipQuiescent(dt float64, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	c := &m.ff
+	if !FastForward() || !c.valid || c.dt != dt || c.n != len(m.tasks) {
+		return false
+	}
+	if m.tel != nil || m.sampler != nil {
+		return false
+	}
+	kk := float64(k)
+	if !c.empty {
+		for i := range c.stepped {
+			if !c.stepped[i] {
+				continue
+			}
+			bq, ok := c.quiesce[i].(BulkQuiescer)
+			if !ok || !bq.CanQuiesceN(dt, k) {
+				return false
+			}
+		}
+		if !m.gov.SkipThermal(dt, k) {
+			return false
+		}
+		for i, t := range m.tasks {
+			if !c.stepped[i] {
+				continue
+			}
+			c.quiesce[i].(BulkQuiescer).AdvanceQuiescedN(dt, k)
+			inc := &c.inc[i]
+			st := &t.stats
+			st.TimeS += kk * dt
+			st.Work += kk * inc.work
+			st.Flops += kk * inc.flops
+			st.AMXFlops += kk * inc.amxFlops
+			st.AVXFlops += kk * inc.avxFlops
+			st.DRAMBytes += kk * inc.dramBytes
+			st.FreqIntegral += kk * inc.freqInc
+			st.UtilIntegral += kk * inc.utilInc
+			st.AMXBusyInt += kk * inc.amxBusyInc
+			st.AVXBusyInt += kk * inc.avxBusyInc
+			st.EnergyJ += kk * inc.energyInc
+			st.Breakdown.Weighted(inc.breakdown, kk*dt)
+		}
+		m.lastLinkUtil = c.linkUtil
+	}
+	m.lastWatts = c.watts
+	m.energyJ += kk * c.energyInc
+	m.now += kk * dt
+	m.ffSteps += uint64(k)
+	return true
+}
+
+// ReplayCapture is an exported, self-contained copy of a machine's step
+// capture, used to intern one archetype's quiescent step fleet-wide:
+// CloneCapture takes it from a stepped representative, AdoptCapture
+// grafts it onto an identically-constructed machine that has never
+// stepped. Slices are deep-copied so the snapshot survives the donor's
+// next full Step.
+type ReplayCapture struct {
+	ok        bool
+	dt        float64
+	n         int
+	empty     bool
+	watts     float64
+	linkUtil  float64
+	energyInc float64
+	stepped   []bool
+	inc       []taskInc
+	preWatts  float64 // donor governor's thermal record
+	fired     bool
+}
+
+// Valid reports whether the capture holds a usable snapshot.
+func (rc ReplayCapture) Valid() bool { return rc.ok }
+
+// CloneCapture snapshots the machine's current step capture for
+// archetype interning. It succeeds only when the machine is coarse-
+// ready — the capture is valid and every stepped task bulk-quiesces —
+// so the snapshot provably describes a self-repeating (idle) step.
+func (m *Machine) CloneCapture(dt float64) (ReplayCapture, bool) {
+	if !m.CoarseReady(dt) {
+		return ReplayCapture{}, false
+	}
+	c := &m.ff
+	rc := ReplayCapture{
+		ok: true, dt: c.dt, n: c.n, empty: c.empty,
+		watts: c.watts, linkUtil: c.linkUtil, energyInc: c.energyInc,
+		stepped: append([]bool(nil), c.stepped...),
+		inc:     append([]taskInc(nil), c.inc...),
+	}
+	rc.preWatts, rc.fired = m.gov.ThermalRecord()
+	return rc, true
+}
+
+// AdoptCapture grafts an archetype's capture onto this machine so its
+// idle prefix can be advanced by SkipQuiescent without ever running a
+// full step. The machine must never have stepped (virgin) and must
+// have the same task layout as the donor; quiescer handles are rebound
+// to the machine's own workloads. The caller owns the soundness
+// precondition that donor and adopter are identically constructed
+// (same platform, manager layout, scenario, no co-runner) — cluster
+// archetype memoization derives it from the machine-spec class.
+func (m *Machine) AdoptCapture(rc ReplayCapture) bool {
+	if !rc.ok || m.now != 0 || m.ffSteps != 0 || m.energyJ != 0 {
+		return false
+	}
+	if len(m.tasks) != rc.n || m.tel != nil || m.sampler != nil {
+		return false
+	}
+	c := &m.ff
+	c.valid = true
+	c.empty = rc.empty
+	c.dt = rc.dt
+	c.n = rc.n
+	c.watts = rc.watts
+	c.linkUtil = rc.linkUtil
+	c.energyInc = rc.energyInc
+	c.stepped = append(c.stepped[:0], rc.stepped...)
+	c.inc = append(c.inc[:0], rc.inc...)
+	c.quiesce = c.quiesce[:0]
+	for i, t := range m.tasks {
+		var q Quiescer
+		if i < len(rc.stepped) && rc.stepped[i] {
+			var okq bool
+			if q, okq = t.wl.(Quiescer); !okq {
+				c.valid = false
+				return false
+			}
+		}
+		c.quiesce = append(c.quiesce, q)
+	}
+	c.sample = Sample{}
+	c.hasSample = false
+	c.sol = power.Solution{}
+	c.cosGrants = nil
+	m.lastWatts = rc.watts
+	m.lastLinkUtil = rc.linkUtil
+	m.gov.AdoptThermal(rc.preWatts, rc.fired)
+	return true
+}

@@ -360,6 +360,51 @@ func (g *Governor) Solve(regions []RegionLoad, dt float64) Solution {
 	return Solution{FreqGHz: freqs, PackageWatts: watts, Throttled: throttled, Hotspot: hotspot}
 }
 
+// SkipThermal advances the thermal average k replayed steps at once in
+// closed form: after k EMA updates toward the (load-dependent only,
+// hence constant) lastPreWatts, the average is
+//
+//	preWatts + (thermalAvg - preWatts) * (1-alpha)^k.
+//
+// The EMA converges monotonically toward lastPreWatts, so the near-TDP
+// predicate can flip at most once across the span; the skip commits
+// only when both the first and last step land on the same side as the
+// last Solve — otherwise the governor is untouched and the caller must
+// fall back to per-step advancement. The closed form differs from k
+// iterated updates only in floating-point rounding; it belongs to the
+// cluster's approximate archetype path, never the byte-identical one.
+func (g *Governor) SkipThermal(dt float64, k int) bool {
+	if dt <= 0 || k <= 0 {
+		return true
+	}
+	alpha := dt / (dt + 2.0)
+	first := g.thermalAvg + alpha*(g.lastPreWatts-g.thermalAvg)
+	last := g.lastPreWatts + (g.thermalAvg-g.lastPreWatts)*math.Pow(1-alpha, float64(k))
+	thresh := 0.97 * g.plat.TDPWatts
+	if (first > thresh) != g.lastFired || (last > thresh) != g.lastFired {
+		return false
+	}
+	g.thermalAvg = last
+	return true
+}
+
+// ThermalRecord exposes the last Solve's thermal inputs — the
+// pre-reduction package power and whether the near-TDP reduction fired
+// — so an identically-specced machine can adopt them (AdoptThermal).
+func (g *Governor) ThermalRecord() (preWatts float64, fired bool) {
+	return g.lastPreWatts, g.lastFired
+}
+
+// AdoptThermal seeds the thermal record from an identically-constructed
+// donor governor. A machine that has never solved has no lastPreWatts;
+// adopting the donor's lets SkipThermal advance its idle prefix in
+// closed form. Cluster archetype memoization only calls this for
+// machines with identical platform, task layout, and zero steps taken.
+func (g *Governor) AdoptThermal(preWatts float64, fired bool) {
+	g.lastPreWatts = preWatts
+	g.lastFired = fired
+}
+
 // ReplayThermal advances the thermal average exactly as one more Solve
 // over the same region loads would — the pre-reduction package power is
 // load-dependent only, so it equals lastPreWatts — without re-running

@@ -49,6 +49,24 @@ func Derive(root uint64, labels ...uint64) *Stream {
 	return &Stream{state: h}
 }
 
+// DeriveUniform returns the first uniform [0, 1) draw of
+// Derive(root, labels...) — the same fold, the same value — without
+// allocating the stream. Hot paths that need exactly one deterministic
+// draw per (root, labels) tuple use this to stay allocation-free; the
+// variadic slice stays on the caller's stack because labels do not
+// escape.
+func DeriveUniform(root uint64, labels ...uint64) float64 {
+	h := root ^ 0x9e3779b97f4a7c15
+	for _, l := range labels {
+		h += 0x9e3779b97f4a7c15 + l
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	s := Stream{state: h}
+	return s.Float64()
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"aum/internal/rng"
 	"aum/internal/telemetry"
@@ -87,8 +88,18 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 		return results, nil
 	}
 	errs := make([]error, n)
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// minFail is the lowest index that failed for a reason of its own.
+	// After an internal failure cancels the pool, scenarios BELOW that
+	// index still execute — they would have run to completion at width
+	// 1 — so which scenario is reported cannot depend on which worker
+	// observed the cancellation first (rule 3). Scenarios above it, and
+	// everything once the parent context is cancelled, are skipped.
+	var minFail atomic.Int64
+	minFail.Store(int64(n))
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -97,10 +108,23 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = run(ctx, i, o, fn, &results[i])
-				if errs[i] != nil {
-					cancel()
+				if err := ctx.Err(); err != nil && (parent.Err() != nil || int64(i) > minFail.Load()) {
+					errs[i] = err
+					continue
 				}
+				errs[i] = run(ctx, i, o, fn, &results[i])
+				if errs[i] == nil {
+					continue
+				}
+				if !errors.Is(errs[i], context.Canceled) && !errors.Is(errs[i], context.DeadlineExceeded) {
+					for {
+						m := minFail.Load()
+						if int64(i) >= m || minFail.CompareAndSwap(m, int64(i)) {
+							break
+						}
+					}
+				}
+				cancel()
 			}
 		}()
 	}
@@ -110,11 +134,10 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 	close(idx)
 	wg.Wait()
 
-	// Dispatch is in index order, so every scenario below the first
-	// real failure was already executing when the pool cancelled: the
-	// lowest-indexed non-cancellation error is the same under any
-	// worker count. Cancellation errors only ever sit above it (skipped
-	// or aborted siblings) — report them only when nothing failed for a
+	// Scenarios below the lowest internal failure always execute, so
+	// the lowest-indexed non-cancellation error is the same under any
+	// worker count. Cancellation errors only sit above it (skipped or
+	// aborted siblings) — report them only when nothing failed for a
 	// reason of its own (i.e. the parent context was cancelled).
 	var cancelled error
 	cancelledAt := -1
@@ -136,11 +159,10 @@ func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 }
 
 // run executes one scenario with panic isolation and, when telemetry
-// is configured, its own per-index scope on the context.
+// is configured, its own per-index scope on the context. Skipping on
+// cancellation is the worker loop's decision, not run's: a scenario
+// below the lowest failing index must execute even on a dead context.
 func run[T any](ctx context.Context, i int, o Options, fn func(context.Context, int, *rng.Stream) (T, error), out *T) (err error) {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
 	if o.Telemetry != nil {
 		scope := o.Telemetry.Child(fmt.Sprintf("s%03d", i))
 		scope.Counter("aum_runner_scenarios_total").Inc()
@@ -166,4 +188,34 @@ func ForEach(ctx context.Context, n int, o Options, fn func(ctx context.Context,
 		return struct{}{}, fn(ctx, i, r)
 	})
 	return err
+}
+
+// Shard partitions [0, n) into contiguous chunks and runs
+// fn(ctx, lo, hi) for each across the pool — the bulk-iteration
+// counterpart to Map for callers whose per-index work is too small to
+// pay a channel round-trip each (a fleet stepping 100k machines per
+// barrier). Chunks are fixed-size and dispatched in index order, so
+// which indices share a chunk — and hence every per-chunk computation
+// — is independent of the worker width; fn must touch only state owned
+// by indices in [lo, hi) for the determinism contract to hold.
+// chunk <= 0 picks a size that gives every worker about four chunks.
+func Shard(ctx context.Context, n, chunk int, o Options, fn func(ctx context.Context, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = n / (4 * o.workers(n))
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	shards := (n + chunk - 1) / chunk
+	return ForEach(ctx, shards, o, func(ctx context.Context, i int, _ *rng.Stream) error {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(ctx, lo, hi)
+	})
 }

@@ -364,6 +364,41 @@ func (w *Worker) CanQuiesce(dt float64) bool {
 	return j.remaining-dt/ts > 1e-9
 }
 
+// CanQuiesceN implements machine.BulkQuiescer: whether the next k
+// steps of dt are all provably quiescent at once. Only the starved
+// shape qualifies — an empty feed stays empty for any k without help —
+// so a worker with a job in flight (whose remaining-work countdown
+// could cross an iteration boundary mid-span) always refuses and falls
+// back to per-step advancement.
+func (w *Worker) CanQuiesceN(dt float64, k int) bool {
+	if w.current != nil {
+		return false
+	}
+	if w.CanQuiesce(dt) {
+		return true
+	}
+	// Never-worked starved: a worker that has done no productive work
+	// (lastSteady unset, zero busy time — idle time may have accrued
+	// through earlier AdvanceQuiescedN spans) spins identically from
+	// its next step when its feed is empty — the shape archetype
+	// capture adoption (machine.AdoptCapture) relies on.
+	if !w.lastSteady && w.busyTime == 0 {
+		if w.phase == llm.Prefill {
+			return w.eng.QueueLen() == 0
+		}
+		return w.eng.DecodeBatch() == 0
+	}
+	return false
+}
+
+// AdvanceQuiescedN implements machine.BulkQuiescer: k starved steps in
+// one multiply. The k*dt product differs from k iterated additions
+// only in floating-point rounding; this path belongs to the cluster's
+// approximate archetype mode, never the byte-identical one.
+func (w *Worker) AdvanceQuiescedN(dt float64, k int) {
+	w.idleTime += float64(k) * dt
+}
+
 // AdvanceQuiesced implements machine.Quiescer: the exact state
 // mutation Step would apply on the quiescent path, with the same
 // floating-point operations.
